@@ -1,0 +1,12 @@
+"""Benchmark session configuration.
+
+Benchmarks print paper-vs-measured tables; run with ``-s`` to see them
+live.  Every table is also persisted under ``benchmarks/results/``.
+"""
+
+import sys
+import os
+
+# Make `helpers` importable from every benchmark module regardless of
+# the rootdir pytest was invoked from.
+sys.path.insert(0, os.path.dirname(__file__))

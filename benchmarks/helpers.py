@@ -1,0 +1,82 @@
+"""Shared machinery for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures:
+it runs the workload(s) on the simulated cluster, prints a
+paper-vs-measured table, persists the table under
+``benchmarks/results/``, and asserts the paper's qualitative shape.
+
+Scale: experiments run at a fraction of the paper's data volume
+(the simulator is time-accurate but a 600 GB trace is needlessly slow to
+emulate); capacities that interact with volume (RAM, buffer cache) are
+scaled by the same fraction so bottleneck structure is preserved, and
+reported times are the simulated seconds at that fraction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import AnalyticsContext, GB
+from repro.cluster import Cluster, hdd_cluster, ssd_cluster
+from repro.engine.base import JobResult
+from repro.metrics.report import format_table
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import (SortWorkload, generate_sort_input,
+                                     run_sort)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, title: str, headers: Sequence[str],
+         rows: Sequence[Sequence[object]],
+         notes: Sequence[str] = ()) -> str:
+    """Print and persist one experiment's table."""
+    table = format_table(headers, rows, title=title)
+    text = table + ("\n" + "\n".join(notes) if notes else "")
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def make_cluster(kind: str, machines: int, disks: int,
+                 fraction: float, seed: int = 0) -> Cluster:
+    factory = hdd_cluster if kind == "hdd" else ssd_cluster
+    return factory(num_machines=machines, num_disks=disks, seed=seed,
+                   **scaled_memory_overrides(fraction))
+
+
+def run_sort_experiment(engine: str, kind: str = "hdd", machines: int = 20,
+                        disks: int = 2, total_bytes: float = 600 * GB,
+                        fraction: float = 0.05, values_per_key: int = 25,
+                        num_map_tasks: int = 480,
+                        in_memory_input: bool = False,
+                        **engine_options):
+    """One paper-style sort run; returns (ctx, JobResult, workload)."""
+    cluster = make_cluster(kind, machines, disks, fraction)
+    workload = SortWorkload(total_bytes=total_bytes * fraction,
+                            values_per_key=values_per_key,
+                            num_map_tasks=num_map_tasks)
+    generate_sort_input(cluster, workload)
+    ctx = AnalyticsContext(cluster, engine=engine, **engine_options)
+    input_rdd = None
+    if in_memory_input:
+        input_rdd = ctx.text_file("sort-input")
+        input_rdd.cache()
+        input_rdd.count()  # materialize deserialized in memory
+    result = run_sort(ctx, workload, input_rdd=input_rdd)
+    return ctx, result, workload
+
+
+def stage_durations(ctx: AnalyticsContext, result: JobResult) -> List[float]:
+    records = ctx.metrics.stage_records(result.job_id)
+    return [record.duration for record in records]
+
+
+def once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1,
+                              warmup_rounds=0)

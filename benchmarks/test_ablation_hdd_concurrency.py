@@ -1,0 +1,40 @@
+"""Ablation: why one monotask per spinning disk (§3.3).
+
+Paper: "The hard disk scheduler runs one monotask per disk, because
+running multiple concurrent monotasks reduces throughput due to seek
+time."  Letting the mono disk scheduler admit several concurrent
+monotasks reintroduces exactly the interleaving MonoSpark exists to
+avoid.
+"""
+
+import pytest
+
+from helpers import emit, once, run_sort_experiment
+
+FRACTION = 0.05
+OUTSTANDING = (1, 2, 4, 8)
+
+
+def run_experiment():
+    results = {}
+    for outstanding in OUTSTANDING:
+        ctx, result, _ = run_sort_experiment(
+            "monospark", kind="hdd", fraction=FRACTION, machines=5,
+            values_per_key=50, hdd_outstanding=outstanding)
+        results[outstanding] = result.duration
+    return results
+
+
+def test_ablation_hdd_concurrency(benchmark):
+    results = once(benchmark, run_experiment)
+    rows = [[n, f"{seconds:.1f}", f"{seconds / results[1]:.2f}"]
+            for n, seconds in sorted(results.items())]
+    emit("ablation_hdd_concurrency",
+         "Ablation: outstanding monotasks per HDD (disk-heavy sort)",
+         ["outstanding", "runtime (s)", "vs 1"], rows,
+         notes=["Paper: one monotask per disk; concurrency reduces HDD",
+                "throughput due to seek time."])
+    # One per disk is the best configuration...
+    assert results[1] == min(results.values())
+    # ...and heavy concurrency measurably hurts.
+    assert results[8] > results[1] * 1.1

@@ -1,0 +1,41 @@
+"""Ablation: the network scheduler's outstanding-multitask limit (§3.3).
+
+Paper: "we limit the number of outstanding requests to those coming from
+four multitasks, based on an experimental parameter sweep."  One
+multitask at a time under-utilizes the receiving link (a single slow
+remote disk stalls it); too many destroys the coarse-grained pipelining
+between fetch and compute.
+"""
+
+import pytest
+
+from helpers import emit, once, run_sort_experiment
+
+FRACTION = 0.05
+LIMITS = (1, 2, 4, 8, 16)
+
+
+def run_experiment():
+    results = {}
+    for limit in LIMITS:
+        ctx, result, _ = run_sort_experiment(
+            "monospark", fraction=FRACTION, machines=20,
+            network_limit=limit)
+        results[limit] = result.duration
+    return results
+
+
+def test_ablation_network_limit(benchmark):
+    results = once(benchmark, run_experiment)
+    best = min(results.values())
+    rows = [[limit, f"{seconds:.1f}", f"{seconds / best:.2f}"]
+            for limit, seconds in sorted(results.items())]
+    emit("ablation_network_limit",
+         "Ablation: receiver outstanding-multitask limit (sort, 20 "
+         "machines)",
+         ["limit", "runtime (s)", "vs best"], rows,
+         notes=["Paper picked 4 from a parameter sweep."])
+    # The paper's choice of 4 is within a few percent of the sweep's best.
+    assert results[4] <= best * 1.1
+    # A limit of 1 under-utilizes the receiving link.
+    assert results[1] >= results[4]

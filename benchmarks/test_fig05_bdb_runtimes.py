@@ -1,0 +1,75 @@
+"""Figure 5: Big Data Benchmark runtimes, Spark vs. MonoSpark.
+
+Paper: "For all queries except 1c, MonoSpark is at most 5% slower and as
+much as 21% faster than Spark.  Query 1c takes 55% longer with
+MonoSpark" because Spark leaves its output in the OS buffer cache while
+MonoSpark writes through; when Spark is configured to flush writes, 1c
+is "only 9% slower".
+
+Setup: scale factor 5 (fraction-scaled), 5 workers, 2 HDDs each,
+compressed sequence files -- the paper's configuration.
+"""
+
+import pytest
+
+from repro import AnalyticsContext
+from repro.workloads.bigdata import BdbScale, QUERIES, generate_bdb_tables, run_query
+
+from helpers import emit, make_cluster, once
+
+FRACTION = 0.25
+CONFIGS = (
+    ("spark", "spark", {}),
+    ("spark-flushed", "spark", {"flush_writes": True}),
+    ("monospark", "monospark", {}),
+)
+
+
+def run_all_queries():
+    scale = BdbScale(fraction=FRACTION)
+    results = {}
+    for tag, engine, options in CONFIGS:
+        cluster = make_cluster("hdd", machines=5, disks=2,
+                               fraction=FRACTION)
+        generate_bdb_tables(cluster, scale)
+        ctx = AnalyticsContext(cluster, engine=engine, **options)
+        for query in QUERIES:
+            results[(tag, query)] = run_query(ctx, query, scale).duration
+    return results
+
+
+def test_fig05_bdb_runtimes(benchmark):
+    results = once(benchmark, run_all_queries)
+
+    rows = []
+    for query in QUERIES:
+        spark = results[("spark", query)]
+        flushed = results[("spark-flushed", query)]
+        mono = results[("monospark", query)]
+        rows.append([query, f"{spark:.1f}", f"{flushed:.1f}",
+                     f"{mono:.1f}", f"{mono / spark:.2f}",
+                     f"{mono / flushed:.2f}"])
+    emit("fig05_bdb_runtimes",
+         "Figure 5: BDB query runtimes (s), 5 workers x 2 HDD, "
+         f"scale fraction {FRACTION}",
+         ["query", "spark", "spark-flushed", "monospark",
+          "mono/spark", "mono/flushed"],
+         rows,
+         notes=[
+             "Paper: mono within -21%..+5% of Spark for all queries except",
+             "1c (+55% vs default Spark; +9% vs write-through Spark).",
+             "Known deviation: our flushed-Spark 1c pays an un-warmed read",
+             "path, so mono beats it (see EXPERIMENTS.md).",
+         ])
+
+    for query in QUERIES:
+        ratio = results[("monospark", query)] / results[("spark", query)]
+        if query == "1c":
+            # The write-through penalty: mono must be clearly slower.
+            assert ratio > 1.1, f"1c should penalize MonoSpark: {ratio:.2f}"
+        else:
+            assert ratio < 1.15, f"{query}: mono too slow ({ratio:.2f})"
+            assert ratio > 0.5, f"{query}: mono implausibly fast ({ratio:.2f})"
+    # Forcing Spark to write through closes most of the 1c gap.
+    assert (results[("spark-flushed", "1c")]
+            > results[("spark", "1c")] * 1.2)

@@ -1,0 +1,60 @@
+"""Figure 7: the machine-learning workload, per stage.
+
+Paper: "MonoSpark provides performance on-par with Spark" for a
+least-squares block-coordinate-descent workload on 15 machines with 2
+SSDs: CPU-efficient native math, heavy network use, in-memory shuffle
+data (no disk at all).
+"""
+
+import pytest
+
+from repro.cluster import ssd_cluster
+from repro.workloads.ml import MlWorkload, make_ml_context, run_ml_workload
+
+from helpers import emit, once
+
+ITERATIONS = 4
+
+
+def run_both():
+    workload = MlWorkload()
+    results = {}
+    for engine in ("spark", "monospark"):
+        cluster = ssd_cluster(num_machines=15)
+        ctx = make_ml_context(cluster, engine, workload)
+        iteration_results = run_ml_workload(ctx, iterations=ITERATIONS)
+        stage_rows = []
+        for result in iteration_results:
+            for record in ctx.metrics.stage_records(result.job_id):
+                stage_rows.append(record.duration)
+        results[engine] = (iteration_results, stage_rows, cluster)
+    return results
+
+
+def test_fig07_ml_stages(benchmark):
+    results = once(benchmark, run_both)
+    spark_stages = results["spark"][1]
+    mono_stages = results["monospark"][1]
+
+    rows = []
+    for index, (spark_s, mono_s) in enumerate(
+            zip(spark_stages, mono_stages)):
+        rows.append([f"stage {index}", f"{spark_s:.2f}", f"{mono_s:.2f}",
+                     f"{mono_s / spark_s:.2f}" if spark_s else "-"])
+    emit("fig07_ml_stages",
+         "Figure 7: least-squares workload per stage (s), 15 x 2 SSD",
+         ["stage", "spark", "monospark", "mono/spark"], rows,
+         notes=["Paper: MonoSpark provides performance on-par with Spark."])
+
+    # Parity per iteration (sum of its two stages).
+    spark_iters = [r.duration for r in results["spark"][0]]
+    mono_iters = [r.duration for r in results["monospark"][0]]
+    for spark_s, mono_s in zip(spark_iters, mono_iters):
+        assert mono_s / spark_s < 1.15
+        assert mono_s / spark_s > 0.6
+
+    # The workload never touches disk (in-memory shuffle + cached input).
+    for engine in ("spark", "monospark"):
+        cluster = results[engine][2]
+        assert all(d.bytes_read == 0 and d.bytes_written == 0
+                   for m in cluster.machines for d in m.disks)

@@ -1,0 +1,69 @@
+"""Figure 8: sensitivity to the number of tasks (waves of multitasks).
+
+Paper: a job that reads input and computes on it, on 20 workers (160
+cores).  "When the number of tasks is equal to the number of cores ...
+MonoSpark is slower than Spark, but as the number of tasks increases,
+MonoSpark can do as well as Spark by pipelining at the granularity of
+monotasks" -- parity from roughly three waves.
+"""
+
+import pytest
+
+from repro import AnalyticsContext, GB
+from repro.api.ops import OpCost
+from repro.datamodel import Partition
+
+from helpers import emit, make_cluster, once
+
+MACHINES = 20
+CORES = MACHINES * 8
+TASK_COUNTS = (CORES, 2 * CORES, 3 * CORES, 6 * CORES, 12 * CORES)
+TOTAL_BYTES = 40 * GB
+TOTAL_CPU_S = 800.0  # compute-heavy, as the Fig 8 shape requires
+
+
+def run_once(engine, num_tasks):
+    cluster = make_cluster("hdd", MACHINES, 2, fraction=0.1)
+    block_bytes = TOTAL_BYTES / num_tasks
+    payloads = [Partition(records=[(i, 0)], record_count=1.0,
+                          data_bytes=block_bytes)
+                for i in range(num_tasks)]
+    cluster.dfs.create_file("input", payloads, [block_bytes] * num_tasks)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    per_task_cpu = TOTAL_CPU_S / num_tasks
+    (ctx.text_file("input")
+        .map(lambda kv: kv, cost=OpCost(per_record_s=per_task_cpu),
+             size_ratio=1.0)
+        .count())
+    return ctx.last_result.duration
+
+
+def run_sweep():
+    return {(engine, tasks): run_once(engine, tasks)
+            for engine in ("spark", "monospark")
+            for tasks in TASK_COUNTS}
+
+
+def test_fig08_task_granularity(benchmark):
+    results = once(benchmark, run_sweep)
+
+    rows = []
+    for tasks in TASK_COUNTS:
+        spark = results[("spark", tasks)]
+        mono = results[("monospark", tasks)]
+        rows.append([tasks, f"{tasks // CORES}", f"{spark:.1f}",
+                     f"{mono:.1f}", f"{mono / spark:.2f}"])
+    emit("fig08_task_granularity",
+         "Figure 8: runtime vs number of tasks, 20 workers (160 cores)",
+         ["tasks", "waves", "spark (s)", "monospark (s)", "mono/spark"],
+         rows,
+         notes=["Paper: Spark faster at 1-2 waves; parity by ~3 waves."])
+
+    one_wave = results[("monospark", CORES)] / results[("spark", CORES)]
+    assert one_wave > 1.1, f"one wave should favor Spark: {one_wave:.2f}"
+    for tasks in TASK_COUNTS[2:]:
+        ratio = results[("monospark", tasks)] / results[("spark", tasks)]
+        assert ratio < 1.1, f"{tasks} tasks: no parity ({ratio:.2f})"
+    # MonoSpark improves monotonically-ish as waves increase.
+    mono_series = [results[("monospark", tasks)] for tasks in TASK_COUNTS]
+    assert mono_series[0] > min(mono_series[2:])

@@ -1,0 +1,63 @@
+"""Figure 9: utilization during the map stage of BDB query 2c.
+
+Paper: "the per-resource schedulers in MonoSpark keep the bottleneck
+resource, CPU, fully utilized: the average utilization is over 92% for
+all machines.  With Spark ... tasks bottleneck on the disk while CPU
+cores are unused, leading to lower utilization of the CPU (75-83%
+across all machines)".
+"""
+
+import pytest
+
+from repro import AnalyticsContext
+from repro.metrics.utilization import machine_utilization
+from repro.workloads.bigdata import BdbScale, generate_bdb_tables, run_query
+
+from helpers import emit, make_cluster, once
+
+FRACTION = 0.25
+
+
+def run_query_2c(engine):
+    scale = BdbScale(fraction=FRACTION)
+    cluster = make_cluster("hdd", machines=5, disks=2, fraction=FRACTION)
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    result = run_query(ctx, "2c", scale)
+    # The map stage is the one that reads the uservisits table.
+    map_stage = next(s for s in ctx.metrics.stage_records(result.job_id)
+                     if "DfsFileRDD" in s.name)
+    per_machine = [
+        machine_utilization(machine, map_stage.start, map_stage.end)
+        for machine in cluster.machines
+    ]
+    return per_machine
+
+
+def run_both():
+    return {engine: run_query_2c(engine)
+            for engine in ("spark", "monospark")}
+
+
+def test_fig09_query2c_utilization(benchmark):
+    results = once(benchmark, run_both)
+
+    rows = []
+    cpu_means = {}
+    for engine, summaries in results.items():
+        cpu = [s.cpu for s in summaries]
+        disk = [max(s.disks) for s in summaries]
+        cpu_means[engine] = sum(cpu) / len(cpu)
+        rows.append([engine, f"{min(cpu):.2f}", f"{cpu_means[engine]:.2f}",
+                     f"{max(cpu):.2f}", f"{sum(disk) / len(disk):.2f}"])
+    emit("fig09_query2c_utilization",
+         "Figure 9: query 2c map stage utilization across 5 machines",
+         ["engine", "cpu min", "cpu mean", "cpu max", "disk mean"], rows,
+         notes=["Paper: MonoSpark keeps CPU (the bottleneck) >92% busy on",
+                "all machines; Spark reaches only 75-83%."])
+
+    # MonoSpark keeps the bottleneck (CPU) essentially fully utilized.
+    assert all(s.cpu > 0.88 for s in results["monospark"])
+    # Spark's fine-grained pipelining leaves CPU partly idle.
+    assert cpu_means["spark"] < cpu_means["monospark"] - 0.05
+    assert cpu_means["spark"] < 0.9

@@ -1,0 +1,64 @@
+"""Figure 11: predicting the runtime with twice as many SSDs.
+
+Paper: sort 600 GB with values of 10/20/50 longs on 20 machines with one
+SSD each; use the monotask runtimes to predict the runtime with two SSDs
+per worker.  "With only 10 values ... the workload is CPU-bound, so the
+model predicts no change ... the error is the largest (9%) ... For the
+other two workloads, the model predicts the correct runtime within a 5%
+error."
+"""
+
+import pytest
+
+from repro.model import WhatIf, hardware_profile, predict, profile_job
+
+from helpers import emit, once, run_sort_experiment
+
+FRACTION = 0.05
+VALUES = (10, 25, 50)
+PAPER_MAX_ERROR = {10: 0.09, 25: 0.05, 50: 0.05}
+
+
+def run_experiment():
+    outcomes = {}
+    for values in VALUES:
+        ctx1, result1, _ = run_sort_experiment(
+            "monospark", kind="ssd", disks=1, fraction=FRACTION,
+            values_per_key=values)
+        ctx2, result2, _ = run_sort_experiment(
+            "monospark", kind="ssd", disks=2, fraction=FRACTION,
+            values_per_key=values)
+        profiles = profile_job(ctx1.metrics, result1.job_id)
+        prediction = predict(profiles, result1.duration,
+                             hardware_profile(ctx1.cluster),
+                             WhatIf(hardware=hardware_profile(ctx2.cluster)))
+        outcomes[values] = (result1.duration, prediction.predicted_s,
+                            result2.duration,
+                            prediction.error_vs(result2.duration))
+    return outcomes
+
+
+def test_fig11_predict_2x_ssd(benchmark):
+    outcomes = once(benchmark, run_experiment)
+
+    rows = []
+    for values in VALUES:
+        measured, predicted, actual, error = outcomes[values]
+        rows.append([f"{values} longs", f"{measured:.1f}",
+                     f"{predicted:.1f}", f"{actual:.1f}",
+                     f"{error * 100:.1f}%",
+                     f"{PAPER_MAX_ERROR[values] * 100:.0f}%"])
+    emit("fig11_predict_2x_ssd",
+         "Figure 11: predict 1 SSD -> 2 SSDs per worker (20 machines)",
+         ["workload", "1-SSD measured (s)", "predicted 2-SSD (s)",
+          "actual 2-SSD (s)", "error", "paper error"],
+         rows)
+
+    for values in VALUES:
+        _, _, _, error = outcomes[values]
+        assert error <= 0.15, f"{values} longs: error {error:.2f}"
+    # The CPU-bound 10-longs workload barely benefits from a second SSD;
+    # the disk-heavier 50-longs workload clearly does.
+    cpu_bound_gain = outcomes[10][0] / outcomes[10][2]
+    disk_bound_gain = outcomes[50][0] / outcomes[50][2]
+    assert disk_bound_gain > cpu_bound_gain

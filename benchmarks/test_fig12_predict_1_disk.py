@@ -1,0 +1,72 @@
+"""Figure 12: predicting the effect of removing one of two disks.
+
+Paper: for the Big Data Benchmark, "the monotasks model correctly
+predicts that most queries change little from eliminating a disk: the
+predictions for all queries except query 3c are within 9% of the actual
+runtime", with 3c overestimated by 28% (its balanced on-disk shuffle
+stage achieves higher utilization once the disk becomes the clear
+bottleneck).
+"""
+
+import pytest
+
+from repro import AnalyticsContext
+from repro.model import WhatIf, hardware_profile, predict, profile_job
+from repro.workloads.bigdata import BdbScale, QUERIES, generate_bdb_tables, run_query
+
+from helpers import emit, make_cluster, once
+
+FRACTION = 0.25
+
+
+def run_bdb(disks):
+    scale = BdbScale(fraction=FRACTION)
+    cluster = make_cluster("hdd", machines=5, disks=disks,
+                           fraction=FRACTION)
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    results = {}
+    for query in QUERIES:
+        results[query] = run_query(ctx, query, scale)
+    return ctx, results
+
+
+def run_experiment():
+    ctx2, results2 = run_bdb(disks=2)
+    ctx1, results1 = run_bdb(disks=1)
+    hw2 = hardware_profile(ctx2.cluster)
+    hw1 = hardware_profile(ctx1.cluster)
+    outcomes = {}
+    for query in QUERIES:
+        measured = results2[query].duration
+        profiles = profile_job(ctx2.metrics, results2[query].job_id)
+        prediction = predict(profiles, measured, hw2, WhatIf(hardware=hw1))
+        actual = results1[query].duration
+        outcomes[query] = (measured, prediction.predicted_s, actual,
+                           prediction.error_vs(actual))
+    return outcomes
+
+
+def test_fig12_predict_1_disk(benchmark):
+    outcomes = once(benchmark, run_experiment)
+
+    rows = []
+    for query in QUERIES:
+        measured, predicted, actual, error = outcomes[query]
+        rows.append([query, f"{measured:.1f}", f"{predicted:.1f}",
+                     f"{actual:.1f}", f"{error * 100:.1f}%"])
+    emit("fig12_predict_1_disk",
+         "Figure 12: predict 2 HDD -> 1 HDD per machine (BDB, MonoSpark)",
+         ["query", "2-disk measured (s)", "predicted 1-disk (s)",
+          "actual 1-disk (s)", "error"],
+         rows,
+         notes=["Paper: all queries within 9% except 3c (28% over).",
+                "The paper's error bar for all what-if questions is 28%."])
+
+    errors = {q: outcomes[q][3] for q in QUERIES}
+    # The paper's overall bound: every prediction within 28%.
+    for query, error in errors.items():
+        assert error <= 0.28, f"{query}: error {error:.2f}"
+    # And most queries are predicted much more tightly.
+    within_12 = sum(1 for error in errors.values() if error <= 0.12)
+    assert within_12 >= 7

@@ -1,0 +1,68 @@
+"""Figure 15: the slot-based model cannot predict hardware changes.
+
+Paper: applying the monotasks methodology to Spark's only scheduling
+dimension -- slots -- fails: "Spark sets the number of slots to be equal
+to the number of CPU cores, so changing the number of disk drives does
+not change the number of slots.  As a result, this model is inaccurate:
+it does not account for the slowdown that occurs when queries become
+disk bound."  (Scaling slots 8 -> 4 instead would predict 2x for every
+query, wrong for all CPU-bound ones.)
+"""
+
+import pytest
+
+from repro import AnalyticsContext
+from repro.model import slot_model_prediction
+from repro.workloads.bigdata import BdbScale, QUERIES, generate_bdb_tables, run_query
+
+from helpers import emit, make_cluster, once
+
+FRACTION = 0.25
+
+
+def run_bdb_spark(disks):
+    scale = BdbScale(fraction=FRACTION)
+    cluster = make_cluster("hdd", machines=5, disks=disks,
+                           fraction=FRACTION)
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine="spark")
+    return {query: run_query(ctx, query, scale).duration
+            for query in QUERIES}
+
+
+def run_experiment():
+    two_disk = run_bdb_spark(disks=2)
+    one_disk = run_bdb_spark(disks=1)
+    return two_disk, one_disk
+
+
+def test_fig15_spark_slot_model(benchmark):
+    two_disk, one_disk = once(benchmark, run_experiment)
+
+    rows = []
+    slot_errors = {}
+    for query in QUERIES:
+        # Slots (= cores) don't change with the disk count, so the slot
+        # model predicts exactly the 2-disk runtime.
+        predicted = slot_model_prediction(two_disk[query], 8, 8)
+        actual = one_disk[query]
+        slot_errors[query] = abs(predicted - actual) / actual
+        halves = slot_model_prediction(two_disk[query], 8, 4)
+        rows.append([query, f"{two_disk[query]:.1f}", f"{predicted:.1f}",
+                     f"{halves:.1f}", f"{actual:.1f}",
+                     f"{slot_errors[query] * 100:.0f}%"])
+    emit("fig15_spark_slot_model",
+         "Figure 15: slot-model predictions for 2 HDD -> 1 HDD (Spark)",
+         ["query", "2-disk (s)", "slot model (=no change)",
+          "slot model (4 slots)", "actual 1-disk (s)", "error"],
+         rows,
+         notes=["Paper: the slot model cannot express a disk-count change",
+                "at all; it mispredicts every disk-sensitive query."])
+
+    # Some queries really do slow down when a disk is removed...
+    disk_sensitive = [q for q in QUERIES
+                      if one_disk[q] > two_disk[q] * 1.2]
+    assert disk_sensitive, "expected at least one disk-sensitive query"
+    # ...and the slot model misses all of them.
+    for query in disk_sensitive:
+        assert slot_errors[query] > 0.15

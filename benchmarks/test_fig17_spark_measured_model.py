@@ -1,0 +1,81 @@
+"""Figure 17: the model fed with measured Spark resource usage.
+
+Paper: even granting Spark per-stage resource totals measured in
+isolation (impossible to attribute when jobs share the cluster, Fig 16),
+feeding them into the monotasks model mispredicts the 1-disk runtimes:
+"a Spark-based model has an error of 20-30% for most queries", because
+contention changes Spark's *effective* resource throughput and
+deserialization time cannot be separated.  The same scenario predicted
+from MonoSpark's own monotask reports (Figure 12) is much tighter.
+"""
+
+import pytest
+
+from repro import AnalyticsContext
+from repro.model import (WhatIf, hardware_profile, predict, profile_job,
+                         spark_stage_profiles)
+from repro.workloads.bigdata import BdbScale, QUERIES, generate_bdb_tables, run_query
+
+from helpers import emit, make_cluster, once
+
+FRACTION = 0.25
+
+
+def run_bdb(engine, disks):
+    scale = BdbScale(fraction=FRACTION)
+    cluster = make_cluster("hdd", machines=5, disks=disks,
+                           fraction=FRACTION)
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    return ctx, {query: run_query(ctx, query, scale) for query in QUERIES}
+
+
+def run_experiment():
+    spark2_ctx, spark2 = run_bdb("spark", disks=2)
+    spark1_ctx, spark1 = run_bdb("spark", disks=1)
+    mono2_ctx, mono2 = run_bdb("monospark", disks=2)
+    mono1_ctx, mono1 = run_bdb("monospark", disks=1)
+
+    hw2 = hardware_profile(spark2_ctx.cluster)
+    hw1 = hardware_profile(spark1_ctx.cluster)
+    outcomes = {}
+    for query in QUERIES:
+        spark_profiles = spark_stage_profiles(spark2_ctx.metrics,
+                                              spark2[query].job_id)
+        spark_prediction = predict(spark_profiles, spark2[query].duration,
+                                   hw2, WhatIf(hardware=hw1))
+        spark_error = spark_prediction.error_vs(spark1[query].duration)
+
+        mono_profiles = profile_job(mono2_ctx.metrics, mono2[query].job_id)
+        mono_prediction = predict(mono_profiles, mono2[query].duration,
+                                  hw2, WhatIf(hardware=hw1))
+        mono_error = mono_prediction.error_vs(mono1[query].duration)
+        outcomes[query] = (spark_prediction.predicted_s,
+                           spark1[query].duration, spark_error, mono_error)
+    return outcomes
+
+
+def test_fig17_spark_measured_model(benchmark):
+    outcomes = once(benchmark, run_experiment)
+
+    rows = []
+    for query in QUERIES:
+        predicted, actual, spark_error, mono_error = outcomes[query]
+        rows.append([query, f"{predicted:.1f}", f"{actual:.1f}",
+                     f"{spark_error * 100:.0f}%",
+                     f"{mono_error * 100:.0f}%"])
+    emit("fig17_spark_measured_model",
+         "Figure 17: measured-usage Spark model vs MonoSpark model "
+         "(predict 1 disk)",
+         ["query", "spark-model predicted (s)", "actual 1-disk (s)",
+          "spark-model error", "mono-model error (Fig 12)"],
+         rows,
+         notes=["Paper: Spark-based model errs 20-30% for most queries,",
+                "and underestimates the 1-disk slowdown."])
+
+    spark_errors = [outcomes[q][2] for q in QUERIES]
+    mono_errors = [outcomes[q][3] for q in QUERIES]
+    # The Spark-based model is clearly worse overall.
+    assert sum(spark_errors) > 1.5 * sum(mono_errors)
+    # And for at least a few queries it misses badly.
+    assert sum(1 for e in spark_errors if e > 0.15) >= 3

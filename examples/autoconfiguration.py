@@ -1,0 +1,52 @@
+"""What software configuration should I use? -- none (§7).
+
+Spark users must tune tasks-per-machine; the ideal value is workload-
+dependent.  MonoSpark's per-resource schedulers configure concurrency
+automatically.  This sweep reproduces Figure 18 at small scale.
+
+Run:  python examples/autoconfiguration.py
+"""
+
+from repro import AnalyticsContext, GB, hdd_cluster
+from repro.autoconf import sweep_spark_concurrency
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+
+FRACTION = 0.02
+SLOTS = (2, 4, 8, 16)
+
+
+def sweep(values_per_key):
+    workload = SortWorkload(total_bytes=600 * GB * FRACTION,
+                            values_per_key=values_per_key,
+                            num_map_tasks=160)
+
+    def make_cluster():
+        cluster = hdd_cluster(num_machines=10,
+                              **scaled_memory_overrides(FRACTION))
+        generate_sort_input(cluster, workload)
+        return cluster
+
+    return sweep_spark_concurrency(make_cluster,
+                                   lambda ctx: run_sort(ctx, workload),
+                                   slot_options=SLOTS)
+
+
+def main():
+    header = "workload     " + "".join(f"spark-{s:<4d}" for s in SLOTS) \
+        + "monospark   verdict"
+    print(header)
+    print("-" * len(header))
+    for values in (1, 25, 100):
+        result = sweep(values)
+        cells = "".join(f"{result.spark_seconds[s]:<10.1f}" for s in SLOTS)
+        verdict = (f"mono = {result.monospark_vs_best_spark:.2f}x best "
+                   f"spark (slots={result.best_spark_slots})")
+        print(f"{values:3d} longs    {cells}{result.monospark_seconds:<12.1f}"
+              f"{verdict}")
+    print("\nMonoSpark needs no concurrency knob: each per-resource")
+    print("scheduler admits exactly what its resource can run (§3.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Why did my workload run slowly? (§6.5 bottleneck analysis)
+
+Runs two Big Data Benchmark queries on MonoSpark and answers, per query:
+which resource is the bottleneck, and how much faster would the query be
+with an infinitely fast disk / network / CPU -- the NSDI'15 blocked-time
+analysis, straight from monotask self-reports.
+
+Run:  python examples/bottleneck_debugging.py
+"""
+
+from repro import AnalyticsContext, hdd_cluster
+from repro.metrics import render_timeline
+from repro.metrics.events import CPU, DISK, NETWORK
+from repro.model import analyze_bottlenecks, hardware_profile, profile_job
+from repro.workloads.bigdata import BdbScale, generate_bdb_tables, run_query
+from repro.workloads.scaling import scaled_memory_overrides
+
+FRACTION = 0.1
+QUERIES = ("1c", "2c", "3b")
+
+
+def main():
+    scale = BdbScale(fraction=FRACTION)
+    cluster = hdd_cluster(num_machines=5,
+                          **scaled_memory_overrides(FRACTION))
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+
+    for query in QUERIES:
+        result = run_query(ctx, query, scale)
+        profiles = profile_job(ctx.metrics, result.job_id)
+        report = analyze_bottlenecks(profiles, result.duration,
+                                     hardware_profile(cluster))
+        print(f"query {query}: {result.duration:.1f}s; "
+              f"bottleneck = {report.job_bottleneck}")
+        for resource in (DISK, NETWORK, CPU):
+            runtime = report.predicted_runtime_without(resource)
+            gain = report.speedup_fraction(resource)
+            print(f"   with infinitely fast {resource:8s}: "
+                  f"{runtime:6.1f}s  (saves {gain * 100:4.1f}%)")
+        for stage_id, bottleneck in sorted(
+                report.stage_bottlenecks.items()):
+            print(f"   stage {stage_id} bottleneck: {bottleneck}")
+        print()
+
+    # The same self-reports render a per-machine execution timeline.
+    print("execution timeline of the last query (machine 0):")
+    print(render_timeline(ctx.metrics, ctx.last_result.job_id,
+                          machine_id=0, width=72))
+    print()
+
+    # Contention is visible as queue lengths (§3.1): peek at a worker.
+    worker = ctx.engine.workers[0]
+    print("peak contention on machine 0 (max monotasks queued):")
+    print(f"   cpu:     {worker.compute_scheduler.max_queue_length}")
+    for index, scheduler in enumerate(worker.disk_schedulers):
+        print(f"   disk{index}:   {scheduler.max_queue_length}")
+    print(f"   network: {worker.network_scheduler.max_queue_length}")
+
+
+if __name__ == "__main__":
+    main()

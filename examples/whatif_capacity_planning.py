@@ -1,0 +1,67 @@
+"""Capacity planning with the monotasks model (§6).
+
+The questions from the paper's introduction: *What hardware should I run
+on?  Is it worth it to get enough memory to cache on-disk data?  How
+much will upgrading the disks improve performance?*
+
+Run the workload ONCE on MonoSpark, then answer every question from the
+monotask self-reports -- no reruns, no offline training (contrast with
+Ernest/CherryPick, §2.2).
+
+Run:  python examples/whatif_capacity_planning.py
+"""
+
+from repro import AnalyticsContext, GB, hdd_cluster
+from repro.config import SSD
+from repro.model import WhatIf, hardware_profile, predict, profile_job
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+
+FRACTION = 0.05
+
+
+def main():
+    # Measure once: a 600 GB-class sort on 20 machines with 2 HDDs.
+    cluster = hdd_cluster(num_machines=20,
+                          **scaled_memory_overrides(FRACTION))
+    workload = SortWorkload(total_bytes=600 * GB * FRACTION,
+                            values_per_key=25, num_map_tasks=480)
+    generate_sort_input(cluster, workload)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    result = run_sort(ctx, workload)
+
+    profiles = profile_job(ctx.metrics, result.job_id)
+    hardware = hardware_profile(cluster)
+    print(f"measured: {result.duration:.1f}s on {cluster.describe()}\n")
+    for profile in profiles:
+        print(f"  stage {profile.stage_id} ({profile.name}): "
+              f"{profile.measured_duration_s:.1f}s, "
+              f"{profile.compute_s:.0f} core-s CPU, "
+              f"{profile.total_disk_bytes / GB:.1f} GB disk, "
+              f"{profile.network_bytes / GB:.1f} GB network")
+    print()
+
+    questions = [
+        ("twice as many disks (4 HDDs)?",
+         WhatIf(hardware=hardware.scaled(disks_per_machine=4))),
+        ("swap HDDs for SSDs?",
+         WhatIf(hardware=hardware.scaled(
+             disk_throughput_bps=SSD.throughput_bps))),
+        ("a 2x larger cluster (40 machines)?",
+         WhatIf(hardware=hardware.scaled(machines=40))),
+        ("10x faster network?",
+         WhatIf(hardware=hardware.scaled(
+             network_bps=hardware.network_bps * 10))),
+        ("enough memory to cache input, deserialized?",
+         WhatIf(input_in_memory_deserialized=True)),
+    ]
+    print("what-if predictions (one measured run, zero reruns):")
+    for question, what_if in questions:
+        prediction = predict(profiles, result.duration, hardware, what_if)
+        speedup = result.duration / prediction.predicted_s
+        print(f"  {question:48s} -> {prediction.predicted_s:7.1f}s "
+              f"({speedup:4.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+import sys
+sys.path.insert(0, "benchmarks")
+from repro import AnalyticsContext, GB, MB
+from repro.api.ops import OpCost
+from repro.datamodel import Partition
+from helpers import make_cluster
+
+def convoy_job(round_robin):
+    # 1 machine, 1 disk: read 128MB -> compute -> write 128MB, 48 tasks.
+    cluster = make_cluster("hdd", 1, 1, fraction=0.05)
+    n = 48
+    payloads = [Partition(records=[(i,0)], record_count=1.0, data_bytes=128*MB)
+                for i in range(n)]
+    cluster.dfs.create_file("in", payloads, [128*MB]*n)
+    ctx = AnalyticsContext(cluster, engine="monospark",
+                           round_robin_phases=round_robin)
+    (ctx.text_file("in").map(lambda kv: kv, cost=OpCost(per_record_s=0.9),
+                             size_ratio=1.0).save_as_text_file("out"))
+    return ctx.last_result.duration
+
+print("convoy  RR:", round(convoy_job(True),1), " FIFO:", round(convoy_job(False),1))
+
+def assign_job(override=None, extra=1):
+    # fig8-style read+compute, 5 machines
+    cluster = make_cluster("hdd", 5, 2, fraction=0.05)
+    n = 200
+    payloads = [Partition(records=[(i,0)], record_count=1.0, data_bytes=96*MB)
+                for i in range(n)]
+    cluster.dfs.create_file("in", payloads, [96*MB]*n)
+    opts = {"extra_multitasks": extra}
+    if override: opts = {"concurrency_override": override}
+    ctx = AnalyticsContext(cluster, engine="monospark", **opts)
+    (ctx.text_file("in").map(lambda kv: kv, cost=OpCost(per_record_s=1.5),
+                             size_ratio=1.0).count())
+    return ctx.last_result.duration
+
+print("assign cores-only:", round(assign_job(8),1),
+      " rule:", round(assign_job(),1),
+      " no+1:", round(assign_job(extra=0),1),
+      " 2x:", round(assign_job(30),1))

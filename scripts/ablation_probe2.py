@@ -1,0 +1,43 @@
+import sys
+sys.path.insert(0, "benchmarks")
+from repro import AnalyticsContext, MB
+from repro.api.ops import OpCost
+from repro.datamodel import Partition
+from repro.cluster import Cluster
+from repro.config import MachineSpec, HDD
+from repro.workloads.scaling import scaled_memory_overrides
+
+def convoy_job(round_robin, cores, compute_s, n=48):
+    spec = MachineSpec(cores=cores, disks=(HDD,), **{})
+    cluster = Cluster(1, spec)
+    payloads = [Partition(records=[(i,0)], record_count=1.0, data_bytes=128*MB)
+                for i in range(n)]
+    cluster.dfs.create_file("in", payloads, [128*MB]*n)
+    ctx = AnalyticsContext(cluster, engine="monospark",
+                           round_robin_phases=round_robin)
+    (ctx.text_file("in").map(lambda kv: kv, cost=OpCost(per_record_s=compute_s),
+                             size_ratio=1.0).save_as_text_file("out"))
+    return ctx.last_result.duration
+
+for cores, comp in ((4, 2.5), (4, 5.0), (4, 10.0), (8, 5.0), (8, 16.0), (2, 4.0)):
+    rr = convoy_job(True, cores, comp)
+    ff = convoy_job(False, cores, comp)
+    print(f"convoy cores={cores} comp={comp}: RR={rr:6.1f} FIFO={ff:6.1f} ratio={ff/rr:.2f}")
+
+from helpers import make_cluster
+def assign_job(compute_s, override=None, extra=1):
+    cluster = make_cluster("hdd", 5, 2, fraction=0.05)
+    n = 200
+    payloads = [Partition(records=[(i,0)], record_count=1.0, data_bytes=96*MB)
+                for i in range(n)]
+    cluster.dfs.create_file("in", payloads, [96*MB]*n)
+    opts = {"extra_multitasks": extra}
+    if override: opts = {"concurrency_override": override}
+    ctx = AnalyticsContext(cluster, engine="monospark", **opts)
+    (ctx.text_file("in").map(lambda kv: kv, cost=OpCost(per_record_s=compute_s),
+                             size_ratio=1.0).count())
+    return ctx.last_result.duration
+
+for comp in (3.0, 4.0, 6.0):
+    co = assign_job(comp, 8); rule = assign_job(comp); x2 = assign_job(comp, 30)
+    print(f"assign comp={comp}: cores-only={co:6.1f} rule={rule:6.1f} 2x={x2:6.1f}")

@@ -1,0 +1,21 @@
+import sys, time
+from repro import AnalyticsContext, hdd_cluster
+from repro.workloads.bigdata import BdbScale, generate_bdb_tables, run_query, QUERIES
+from repro.workloads.scaling import scaled_memory_overrides
+
+frac = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+scale = BdbScale(fraction=frac)
+res = {}
+t00 = time.time()
+for tag, eng, opts in (("spark","spark",{}), ("flush","spark",{"flush_writes":True}), ("mono","monospark",{})):
+    cluster = hdd_cluster(num_machines=5, **scaled_memory_overrides(frac))
+    generate_bdb_tables(cluster, scale)
+    ctx = AnalyticsContext(cluster, engine=eng, **opts)
+    for q in QUERIES:
+        r = run_query(ctx, q, scale)
+        res[(tag,q)] = r.duration
+print(f"total wall {time.time()-t00:.0f}s")
+print(f"{'q':3s} {'spark':>8s} {'flush':>8s} {'mono':>8s} {'m/s':>5s} {'m/f':>5s}")
+for q in QUERIES:
+    s, f, m = res[("spark",q)], res[("flush",q)], res[("mono",q)]
+    print(f"{q:3s} {s:8.1f} {f:8.1f} {m:8.1f} {m/s:5.2f} {m/f:5.2f}")

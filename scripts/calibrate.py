@@ -1,0 +1,25 @@
+"""Calibration sweep: check the paper's headline shapes quickly."""
+import time
+from repro import AnalyticsContext, hdd_cluster, ssd_cluster, GB, MB
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+from repro.workloads.scaling import scaled_memory_overrides
+
+FRACTION = 0.1  # 600GB -> 60GB
+
+def sort_run(engine, machines=20, disks=2, kind="hdd", total=600*GB*FRACTION,
+             values=10, maps=480, **opts):
+    cluster = (hdd_cluster if kind == "hdd" else ssd_cluster)(
+        num_machines=machines, num_disks=disks,
+        **scaled_memory_overrides(FRACTION))
+    w = SortWorkload(total_bytes=total, values_per_key=values,
+                     num_map_tasks=maps)
+    generate_sort_input(cluster, w)
+    ctx = AnalyticsContext(cluster, engine=engine, **opts)
+    t0 = time.time()
+    r = run_sort(ctx, w)
+    stages = ctx.metrics.stage_records(r.job_id)
+    return r.duration, [round(s.duration,1) for s in stages], time.time()-t0, ctx
+
+for eng in ("spark", "monospark"):
+    d, st, wall, _ = sort_run(eng)
+    print(f"sort60GB hdd {eng:10s} total={d:7.1f}s stages={st} wall={wall:.0f}s")

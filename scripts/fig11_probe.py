@@ -1,0 +1,17 @@
+import sys
+sys.path.insert(0, "benchmarks")
+from helpers import run_sort_experiment
+from repro.model import WhatIf, hardware_profile, predict, profile_job
+
+FRACTION = 0.05
+for values in (10, 25, 50):
+    ctx1, r1, w = run_sort_experiment("monospark", kind="ssd", disks=1,
+                                      fraction=FRACTION, values_per_key=values)
+    ctx2, r2, _ = run_sort_experiment("monospark", kind="ssd", disks=2,
+                                      fraction=FRACTION, values_per_key=values)
+    profiles = profile_job(ctx1.metrics, r1.job_id)
+    p = predict(profiles, r1.duration, hardware_profile(ctx1.cluster),
+                WhatIf(hardware=hardware_profile(ctx2.cluster)))
+    print(f"V={values:3d} 1ssd={r1.duration:6.1f} pred2ssd={p.predicted_s:6.1f} "
+          f"actual2ssd={r2.duration:6.1f} err={p.error_vs(r2.duration)*100:5.1f}% "
+          f"bottl={[m.bottleneck for m in p.stage_models_old]}")

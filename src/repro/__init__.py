@@ -1,0 +1,48 @@
+"""Reproduction of "Monotasks: Architecting for Performance Clarity in
+Data Analytics Frameworks" (Ousterhout et al., SOSP 2017).
+
+Quick start::
+
+    from repro import AnalyticsContext, hdd_cluster
+
+    cluster = hdd_cluster(num_machines=5)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    words = ctx.parallelize(["a b", "b c"], num_partitions=2)
+    counts = (words.flat_map(lambda line: line.split())
+                   .map(lambda word: (word, 1))
+                   .reduce_by_key(lambda a, b: a + b)
+                   .collect())
+
+See :mod:`repro.model` for the §6 performance model (what-if prediction
+and bottleneck analysis) and :mod:`repro.workloads` for the paper's
+benchmark workloads.
+"""
+
+from repro.api.context import AnalyticsContext
+from repro.api.ops import OpCost
+from repro.cluster.cluster import Cluster, hdd_cluster, ssd_cluster
+from repro.config import (GB, HDD, KB, MB, SSD, CostModel, DiskSpec,
+                          MachineSpec)
+from repro.monospark.engine import MonoSparkEngine
+from repro.spark.engine import SparkEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticsContext",
+    "Cluster",
+    "hdd_cluster",
+    "ssd_cluster",
+    "MonoSparkEngine",
+    "SparkEngine",
+    "CostModel",
+    "DiskSpec",
+    "MachineSpec",
+    "OpCost",
+    "HDD",
+    "SSD",
+    "KB",
+    "MB",
+    "GB",
+    "__version__",
+]

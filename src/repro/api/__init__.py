@@ -1,0 +1,51 @@
+"""User-facing API: context, RDDs, operators, partitioners, plans."""
+
+from repro.api.context import AnalyticsContext
+from repro.api.dagscheduler import DagScheduler
+from repro.api.ops import (CoGroupOp, CombineByKeyOp, FilterOp, FlatMapOp,
+                           GroupByKeyOp, JoinFlattenOp, MapOp,
+                           MapPartitionsOp, OpCost, PhysicalOp, SortOp,
+                           run_chain)
+from repro.api.partitioners import HashPartitioner, Partitioner, RangePartitioner
+from repro.api.plan import (CachedInput, CollectOutput, DfsInput, DfsOutput,
+                            JobPlan, LocalInput, ShuffleDep, ShuffleInput,
+                            ShuffleOutput, Stage, TaskDescriptor)
+from repro.api.rdd import (DfsFileRDD, NarrowRDD, ParallelizedRDD, RDD,
+                           ShuffledRDD, UnionRDD)
+
+__all__ = [
+    "AnalyticsContext",
+    "DagScheduler",
+    "RDD",
+    "DfsFileRDD",
+    "ParallelizedRDD",
+    "NarrowRDD",
+    "ShuffledRDD",
+    "UnionRDD",
+    "OpCost",
+    "PhysicalOp",
+    "MapOp",
+    "FlatMapOp",
+    "FilterOp",
+    "MapPartitionsOp",
+    "CombineByKeyOp",
+    "GroupByKeyOp",
+    "SortOp",
+    "CoGroupOp",
+    "JoinFlattenOp",
+    "run_chain",
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "JobPlan",
+    "Stage",
+    "TaskDescriptor",
+    "DfsInput",
+    "LocalInput",
+    "CachedInput",
+    "ShuffleInput",
+    "ShuffleDep",
+    "ShuffleOutput",
+    "DfsOutput",
+    "CollectOutput",
+]

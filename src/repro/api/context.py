@@ -1,0 +1,130 @@
+"""The entry point: an analytics context bound to a cluster and an engine.
+
+Mirrors ``SparkContext``: create datasets with :meth:`text_file` /
+:meth:`parallelize`, transform them with the RDD API, and run actions.
+Switching between the Spark-style engine and MonoSpark is a constructor
+argument -- the paper's "change your build file to refer to MonoSpark
+rather than Spark" (§4) becomes ``engine="monospark"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.api.dagscheduler import DagScheduler
+from repro.api.plan import CollectOutput, DfsOutput, JobPlan
+from repro.api.rdd import DfsFileRDD, ParallelizedRDD, RDD
+from repro.cluster.cluster import Cluster
+from repro.config import CostModel
+from repro.datamodel.records import Partition, estimate_record_bytes
+from repro.datamodel.serialization import PLAIN, DataFormat
+from repro.engine.base import BaseEngine, JobResult
+from repro.errors import ConfigError
+from repro.monospark.engine import MonoSparkEngine
+from repro.spark.engine import SparkEngine
+
+__all__ = ["AnalyticsContext"]
+
+_ENGINES = {
+    "spark": SparkEngine,
+    "monospark": MonoSparkEngine,
+}
+
+
+class AnalyticsContext:
+    """Owns a cluster, an engine, and the plan compiler."""
+
+    def __init__(self, cluster: Cluster,
+                 engine: Union[str, BaseEngine] = "monospark",
+                 cost_model: Optional[CostModel] = None,
+                 shuffle_in_memory: bool = False,
+                 **engine_options) -> None:
+        self.cluster = cluster
+        if isinstance(engine, BaseEngine):
+            if cost_model is not None or engine_options:
+                raise ConfigError(
+                    "pass engine options to the engine instance, not both")
+            self.engine = engine
+        else:
+            engine_cls = _ENGINES.get(engine)
+            if engine_cls is None:
+                raise ConfigError(
+                    f"unknown engine {engine!r}; choose from "
+                    f"{sorted(_ENGINES)}")
+            self.engine = engine_cls(cluster, cost_model=cost_model,
+                                     **engine_options)
+        self.dag_scheduler = DagScheduler(
+            block_manager=self.engine.block_manager,
+            shuffle_in_memory=shuffle_in_memory)
+        self._rdd_counter = 0
+        #: The JobResult of the most recent action (timing, metrics).
+        self.last_result: Optional[JobResult] = None
+
+    @property
+    def metrics(self):
+        """The engine's :class:`MetricsCollector`."""
+        return self.engine.metrics
+
+    def _next_rdd_id(self) -> int:
+        rdd_id = self._rdd_counter
+        self._rdd_counter += 1
+        return rdd_id
+
+    # -- dataset creation ---------------------------------------------------------
+
+    def text_file(self, file_name: str, fmt: DataFormat = PLAIN) -> RDD:
+        """Open a DFS file: one partition per block."""
+        return DfsFileRDD(self, file_name, fmt=fmt)
+
+    textFile = text_file
+
+    def parallelize(self, records: Iterable[Any], num_partitions: int = 8,
+                    sizer: Callable[[Any], float] = estimate_record_bytes
+                    ) -> RDD:
+        """Distribute driver-side records over ``num_partitions``."""
+        records = list(records)
+        if num_partitions < 1:
+            raise ConfigError(f"need >= 1 partition: {num_partitions}")
+        slices: List[List[Any]] = [[] for _ in range(num_partitions)]
+        for index, record in enumerate(records):
+            slices[index % num_partitions].append(record)
+        partitions = [Partition.from_records(chunk, sizer=sizer)
+                      for chunk in slices]
+        return ParallelizedRDD(self, partitions)
+
+    def parallelize_partitions(self, partitions: List[Partition]) -> RDD:
+        """Distribute pre-built partitions (workloads with modeled sizes)."""
+        return ParallelizedRDD(self, partitions)
+
+    # -- actions (called by RDD) ----------------------------------------------------
+
+    def _run_collect(self, rdd: RDD) -> List[Any]:
+        plan = self.dag_scheduler.compile(rdd, CollectOutput(),
+                                          name="collect")
+        result = self.engine.run_job(plan)
+        self.last_result = result
+        return result.all_records()
+
+    def _run_count(self, rdd: RDD) -> float:
+        plan = self.dag_scheduler.compile(rdd, CollectOutput(count_only=True),
+                                          name="count")
+        result = self.engine.run_job(plan)
+        self.last_result = result
+        return result.count
+
+    def _run_save(self, rdd: RDD, file_name: str, fmt: DataFormat) -> None:
+        plan = self.dag_scheduler.compile(
+            rdd, DfsOutput(file_name=file_name, fmt=fmt), name="save")
+        self.last_result = self.engine.run_job(plan)
+
+    # -- multi-job / plan-level API ---------------------------------------------------
+
+    def compile(self, rdd: RDD, output: Optional[Any] = None,
+                name: str = "") -> JobPlan:
+        """Compile without running (for concurrent-job experiments)."""
+        return self.dag_scheduler.compile(rdd, output or CollectOutput(),
+                                          name=name)
+
+    def run_jobs(self, plans: List[JobPlan]) -> List[JobResult]:
+        """Run several compiled jobs concurrently on the shared cluster."""
+        return self.engine.run_jobs(plans)

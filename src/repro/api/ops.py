@@ -1,0 +1,259 @@
+"""Physical operators: real record transforms plus cost/size models.
+
+Every narrow transformation in a task's fused chain is a
+:class:`PhysicalOp`.  An op does two things:
+
+* ``apply(records)`` -- the *real* transformation, so results are correct;
+* modeled accounting -- how the partition's modeled ``record_count`` and
+  ``data_bytes`` change, and how much CPU time the op charges.
+
+Modeled sizes follow the observed real ratios by default.  Workloads that
+scale data down can override with ``count_ratio`` / ``size_ratio`` /
+``output_row_bytes`` when the real sample would misestimate (e.g. a
+selective filter measured on a tiny sample).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.records import Partition
+from repro.errors import PlanError
+
+__all__ = [
+    "OpCost",
+    "PhysicalOp",
+    "MapOp",
+    "FlatMapOp",
+    "FilterOp",
+    "MapPartitionsOp",
+    "CombineByKeyOp",
+    "GroupByKeyOp",
+    "SortOp",
+    "CoGroupOp",
+    "JoinFlattenOp",
+    "run_chain",
+    "chain_cpu_seconds",
+]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """CPU seconds charged per modeled input record and per modeled byte."""
+
+    per_record_s: float = 0.1e-6
+    per_byte_s: float = 0.0
+
+
+class PhysicalOp(ABC):
+    """One step of a fused narrow chain."""
+
+    name: str = "op"
+
+    def __init__(self, cost: OpCost = OpCost(),
+                 count_ratio: Optional[float] = None,
+                 size_ratio: Optional[float] = None,
+                 output_row_bytes: Optional[Callable[[Any], float]] = None,
+                 name: Optional[str] = None) -> None:
+        self.cost = cost
+        self.count_ratio = count_ratio
+        self.size_ratio = size_ratio
+        self.output_row_bytes = output_row_bytes
+        if name is not None:
+            self.name = name
+
+    @abstractmethod
+    def apply(self, records: List[Any]) -> List[Any]:
+        """Transform real records."""
+
+    def cpu_seconds(self, partition: Partition) -> float:
+        """CPU time charged for this op, from modeled input sizes."""
+        return (self.cost.per_record_s * partition.record_count
+                + self.cost.per_byte_s * partition.data_bytes)
+
+    def transform(self, partition: Partition) -> Partition:
+        """Apply to real records and re-derive modeled sizes."""
+        out_records = self.apply(partition.records)
+        if self.count_ratio is not None:
+            count_ratio = self.count_ratio
+        elif partition.records:
+            count_ratio = len(out_records) / len(partition.records)
+        else:
+            count_ratio = 1.0
+        out_count = partition.record_count * count_ratio
+        if self.output_row_bytes is not None and out_records:
+            mean_bytes = (sum(self.output_row_bytes(r) for r in out_records)
+                          / len(out_records))
+            out_bytes = mean_bytes * out_count
+        elif self.size_ratio is not None:
+            out_bytes = partition.data_bytes * self.size_ratio
+        else:
+            out_bytes = partition.data_bytes * count_ratio
+        return partition.with_records(out_records, out_count, out_bytes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class MapOp(PhysicalOp):
+    name = "map"
+
+    def __init__(self, fn: Callable[[Any], Any], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fn = fn
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        return [self.fn(record) for record in records]
+
+
+class FlatMapOp(PhysicalOp):
+    name = "flat_map"
+
+    def __init__(self, fn: Callable[[Any], Sequence[Any]], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fn = fn
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        out: List[Any] = []
+        for record in records:
+            out.extend(self.fn(record))
+        return out
+
+
+class FilterOp(PhysicalOp):
+    name = "filter"
+
+    def __init__(self, predicate: Callable[[Any], bool], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.predicate = predicate
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        return [record for record in records if self.predicate(record)]
+
+
+class MapPartitionsOp(PhysicalOp):
+    name = "map_partitions"
+
+    def __init__(self, fn: Callable[[List[Any]], List[Any]], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.fn = fn
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        return list(self.fn(records))
+
+
+class CombineByKeyOp(PhysicalOp):
+    """Key-wise aggregation over ``(key, value)`` records.
+
+    Used both map-side (combining before the shuffle write, as Spark's
+    ``reduceByKey`` does) and reduce-side (merging fetched buckets).
+    """
+
+    name = "combine_by_key"
+
+    def __init__(self, merge: Callable[[Any, Any], Any], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.merge = merge
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        combined: Dict[Any, Any] = {}
+        for key, value in records:
+            if key in combined:
+                combined[key] = self.merge(combined[key], value)
+            else:
+                combined[key] = value
+        return list(combined.items())
+
+    def transform(self, partition: Partition) -> Partition:
+        # Aggregation collapses duplicates; the real ratio is the best
+        # available estimate of the modeled ratio unless overridden.
+        return super().transform(partition)
+
+
+class GroupByKeyOp(PhysicalOp):
+    """Group ``(key, value)`` records into ``(key, [values])``."""
+
+    name = "group_by_key"
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        grouped: Dict[Any, List[Any]] = {}
+        for key, value in records:
+            grouped.setdefault(key, []).append(value)
+        return list(grouped.items())
+
+
+class SortOp(PhysicalOp):
+    """Sort records (reduce side of ``sortByKey``)."""
+
+    name = "sort"
+
+    def __init__(self, key_fn: Callable[[Any], Any] = lambda r: r[0],
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.key_fn = key_fn
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        return sorted(records, key=self.key_fn)
+
+
+class CoGroupOp(PhysicalOp):
+    """Reduce-side cogroup for joins.
+
+    Input records are tagged ``(key, (side, value))`` by the shuffle
+    reader; output is ``(key, ([left values], [right values], ...))``.
+    """
+
+    name = "cogroup"
+
+    def __init__(self, num_sides: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if num_sides < 1:
+            raise PlanError("cogroup needs at least one side")
+        self.num_sides = num_sides
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        grouped: Dict[Any, Tuple[List[Any], ...]] = {}
+        for key, (side, value) in records:
+            if key not in grouped:
+                grouped[key] = tuple([] for _ in range(self.num_sides))
+            grouped[key][side].append(value)
+        return list(grouped.items())
+
+
+class JoinFlattenOp(PhysicalOp):
+    """Turn cogrouped ``(key, ([lefts], [rights]))`` into inner-join rows."""
+
+    name = "join_flatten"
+
+    def apply(self, records: List[Any]) -> List[Any]:
+        out: List[Any] = []
+        for key, (lefts, rights) in records:
+            for left in lefts:
+                for right in rights:
+                    out.append((key, (left, right)))
+        return out
+
+
+def run_chain(partition: Partition,
+              ops: Sequence[PhysicalOp]) -> Tuple[Partition, float]:
+    """Apply a fused chain; return (output partition, op CPU seconds).
+
+    The returned CPU time covers the operators only; (de)serialization
+    is charged separately by the engines so that it can be reported as a
+    distinct phase (§6.3).
+    """
+    cpu_seconds = 0.0
+    current = partition
+    for op in ops:
+        cpu_seconds += op.cpu_seconds(current)
+        current = op.transform(current)
+    return current, cpu_seconds
+
+
+def chain_cpu_seconds(partition: Partition,
+                      ops: Sequence[PhysicalOp]) -> float:
+    """Op CPU time without keeping the transformed records."""
+    _, cpu_seconds = run_chain(partition, ops)
+    return cpu_seconds

@@ -1,0 +1,424 @@
+"""The user-facing dataset API: an RDD-style lineage of transformations.
+
+Mirrors the subset of Spark's API the paper exercises (Figure 1's word
+count, the sort workloads, the Big Data Benchmark queries, and the ML
+workload): ``map``/``flat_map``/``filter``/``map_partitions`` narrow
+transformations, ``reduce_by_key``/``group_by_key``/``sort_by_key``/
+``join`` shuffles, ``cache``, and the ``collect``/``count``/
+``save_as_text_file`` actions.  CamelCase aliases (``flatMap``,
+``reduceByKey``...) are provided for familiarity with the paper's
+listings.
+
+Transformations are lazy: they only record lineage.  Actions compile the
+lineage into a :class:`~repro.api.plan.JobPlan` and hand it to whichever
+engine (Spark-style or MonoSpark) the context is bound to -- the API is
+engine-agnostic, exactly as MonoSpark is API-compatible with Spark.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional, Sequence,
+                    Tuple)
+
+from repro.api.ops import (CoGroupOp, CombineByKeyOp, FilterOp, FlatMapOp,
+                           GroupByKeyOp, JoinFlattenOp, MapOp,
+                           MapPartitionsOp, OpCost, PhysicalOp, SortOp)
+from repro.api.partitioners import HashPartitioner, Partitioner, RangePartitioner
+from repro.datamodel.records import Partition
+from repro.datamodel.serialization import DESERIALIZED, PLAIN, DataFormat
+from repro.errors import PlanError
+
+if TYPE_CHECKING:
+    from repro.api.context import AnalyticsContext
+
+__all__ = ["RDD", "DfsFileRDD", "ParallelizedRDD", "NarrowRDD",
+           "ShuffledRDD", "UnionRDD"]
+
+
+class RDD:
+    """A lazily evaluated, partitioned dataset."""
+
+    def __init__(self, ctx: "AnalyticsContext", parents: Sequence["RDD"],
+                 num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise PlanError(f"RDD needs >= 1 partition: {num_partitions}")
+        self.ctx = ctx
+        self.parents = list(parents)
+        self.num_partitions = num_partitions
+        self.rdd_id = ctx._next_rdd_id()
+        self.cached = False
+        self.cache_fmt: DataFormat = DESERIALIZED
+
+    # -- narrow transformations ------------------------------------------------
+
+    def _narrow(self, op: PhysicalOp) -> "NarrowRDD":
+        return NarrowRDD(self.ctx, self, op)
+
+    def map(self, fn: Callable[[Any], Any], cost: OpCost = OpCost(),
+            **size_hints) -> "NarrowRDD":
+        """Apply ``fn`` to every record."""
+        return self._narrow(MapOp(fn, cost=cost, **size_hints))
+
+    def flat_map(self, fn: Callable[[Any], Sequence[Any]],
+                 cost: OpCost = OpCost(), **size_hints) -> "NarrowRDD":
+        """Apply ``fn`` and flatten the per-record sequences."""
+        return self._narrow(FlatMapOp(fn, cost=cost, **size_hints))
+
+    def filter(self, predicate: Callable[[Any], bool],
+               cost: OpCost = OpCost(), **size_hints) -> "NarrowRDD":
+        """Keep records where ``predicate`` is true."""
+        return self._narrow(FilterOp(predicate, cost=cost, **size_hints))
+
+    def map_partitions(self, fn: Callable[[List[Any]], List[Any]],
+                       cost: OpCost = OpCost(), **size_hints) -> "NarrowRDD":
+        """Apply ``fn`` to each whole partition."""
+        return self._narrow(MapPartitionsOp(fn, cost=cost, **size_hints))
+
+    # -- shuffles ----------------------------------------------------------------
+
+    def reduce_by_key(self, merge: Callable[[Any, Any], Any],
+                      num_partitions: Optional[int] = None,
+                      combine_cost: OpCost = OpCost(),
+                      map_side_combine: bool = True) -> "ShuffledRDD":
+        """Merge values per key (with map-side combining, like Spark)."""
+        num_partitions = num_partitions or self.num_partitions
+        pre = [CombineByKeyOp(merge, cost=combine_cost)] if map_side_combine else []
+        return ShuffledRDD(
+            self.ctx, [self], num_partitions,
+            partitioner=HashPartitioner(num_partitions),
+            pre_shuffle_ops=[pre],
+            post_shuffle_ops=[CombineByKeyOp(merge, cost=combine_cost)],
+            name="reduce_by_key")
+
+    def group_by_key(self, num_partitions: Optional[int] = None,
+                     cost: OpCost = OpCost()) -> "ShuffledRDD":
+        """Group values per key into lists."""
+        num_partitions = num_partitions or self.num_partitions
+        return ShuffledRDD(
+            self.ctx, [self], num_partitions,
+            partitioner=HashPartitioner(num_partitions),
+            pre_shuffle_ops=[[]],
+            post_shuffle_ops=[GroupByKeyOp(cost=cost)],
+            name="group_by_key")
+
+    def sort_by_key(self, num_partitions: Optional[int] = None,
+                    boundaries: Optional[Sequence[Any]] = None,
+                    key_fn: Callable[[Any], Any] = lambda r: r[0],
+                    cost: OpCost = OpCost()) -> "ShuffledRDD":
+        """Globally sort by key via a range partitioner.
+
+        Spark runs a sampling pre-pass to pick balanced range boundaries;
+        here boundaries may be passed explicitly, or they are sampled at
+        plan time from source data reachable through narrow lineage.
+        """
+        num_partitions = num_partitions or self.num_partitions
+        if boundaries is not None:
+            partitioner: Partitioner = RangePartitioner(boundaries, key_fn)
+        else:
+            sample = self._sample_keys(key_fn)
+            partitioner = RangePartitioner.from_sample(
+                sample, num_partitions, key_fn)
+        return ShuffledRDD(
+            self.ctx, [self], num_partitions,
+            partitioner=partitioner,
+            pre_shuffle_ops=[[]],
+            post_shuffle_ops=[SortOp(key_fn, cost=cost)],
+            name="sort_by_key")
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None,
+             cost: OpCost = OpCost()) -> "ShuffledRDD":
+        """Inner join on key with ``other`` (a shuffle of both sides)."""
+        num_partitions = num_partitions or max(self.num_partitions,
+                                               other.num_partitions)
+        return ShuffledRDD(
+            self.ctx, [self, other], num_partitions,
+            partitioner=HashPartitioner(num_partitions),
+            pre_shuffle_ops=[[], []],
+            post_shuffle_ops=[CoGroupOp(2, cost=cost), JoinFlattenOp()],
+            name="join")
+
+    def cogroup(self, other: "RDD",
+                num_partitions: Optional[int] = None,
+                cost: OpCost = OpCost()) -> "ShuffledRDD":
+        """Group both sides' values per key: ``(key, ([lefts],[rights]))``."""
+        num_partitions = num_partitions or max(self.num_partitions,
+                                               other.num_partitions)
+        return ShuffledRDD(
+            self.ctx, [self, other], num_partitions,
+            partitioner=HashPartitioner(num_partitions),
+            pre_shuffle_ops=[[], []],
+            post_shuffle_ops=[CoGroupOp(2, cost=cost)],
+            name="cogroup")
+
+    # -- derived transformations ---------------------------------------------------
+
+    def map_values(self, fn: Callable[[Any], Any],
+                   cost: OpCost = OpCost(), **size_hints) -> "NarrowRDD":
+        """Apply ``fn`` to each value of ``(key, value)`` records."""
+        return self._narrow(MapOp(lambda kv: (kv[0], fn(kv[1])), cost=cost,
+                                  name="map_values", **size_hints))
+
+    def flat_map_values(self, fn: Callable[[Any], Sequence[Any]],
+                        cost: OpCost = OpCost(),
+                        **size_hints) -> "NarrowRDD":
+        """Flat-map each value, keeping its key."""
+        return self._narrow(FlatMapOp(
+            lambda kv: [(kv[0], value) for value in fn(kv[1])],
+            cost=cost, name="flat_map_values", **size_hints))
+
+    def keys(self) -> "NarrowRDD":
+        """The keys of ``(key, value)`` records."""
+        return self._narrow(MapOp(lambda kv: kv[0], name="keys"))
+
+    def values(self) -> "NarrowRDD":
+        """The values of ``(key, value)`` records."""
+        return self._narrow(MapOp(lambda kv: kv[1], name="values"))
+
+    def sample(self, fraction: float, seed: int = 0) -> "NarrowRDD":
+        """Deterministic Bernoulli sample of ~``fraction`` of records."""
+        if not 0 < fraction <= 1.0:
+            raise PlanError(f"sample fraction must be in (0, 1]: {fraction}")
+        import random as _random
+
+        def keep(record, _fraction=fraction, _seed=seed):
+            # Hash-based so the decision is per-record deterministic.
+            return (_random.Random(f"{_seed}:{record!r}").random()
+                    < _fraction)
+
+        return self._narrow(FilterOp(keep, count_ratio=fraction,
+                                     name="sample"))
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Deduplicate records (a shuffle, like Spark's distinct)."""
+        return (self.map(lambda record: (record, None), size_ratio=1.0)
+                .reduce_by_key(lambda a, b: a,
+                               num_partitions=num_partitions)
+                .map(lambda kv: kv[0], size_ratio=1.0))
+
+    def union(self, other: "RDD") -> "UnionRDD":
+        """Concatenate two datasets (no shuffle; partitions side by side)."""
+        return UnionRDD(self.ctx, [self, other])
+
+    def repartition(self, num_partitions: int) -> "ShuffledRDD":
+        """Rebalance into ``num_partitions`` via a shuffle.
+
+        Records are routed by a hash of the whole record, so any record
+        type works and the result is deterministic.
+        """
+        return ShuffledRDD(
+            self.ctx, [self], num_partitions,
+            partitioner=HashPartitioner(num_partitions),
+            pre_shuffle_ops=[[]],
+            post_shuffle_ops=[],
+            name="repartition")
+
+    # -- caching -------------------------------------------------------------------
+
+    def cache(self, fmt: DataFormat = DESERIALIZED) -> "RDD":
+        """Materialize this RDD in worker memory on first computation."""
+        self.cached = True
+        self.cache_fmt = fmt
+        return self
+
+    # -- actions ---------------------------------------------------------------------
+
+    def collect(self) -> List[Any]:
+        """Run the job and return all records."""
+        return self.ctx._run_collect(self)
+
+    def count(self) -> float:
+        """Run the job and return the modeled record count."""
+        return self.ctx._run_count(self)
+
+    def save_as_text_file(self, file_name: str,
+                          fmt: DataFormat = PLAIN) -> None:
+        """Run the job, writing one DFS block per partition."""
+        self.ctx._run_save(self, file_name, fmt)
+
+    def take(self, n: int) -> List[Any]:
+        """First ``n`` records (runs the whole job, then truncates --
+        unlike Spark, no partial-evaluation optimization)."""
+        if n < 0:
+            raise PlanError(f"take needs n >= 0: {n}")
+        return self.collect()[:n]
+
+    def first(self) -> Any:
+        """The first record; raises if the dataset is empty."""
+        records = self.take(1)
+        if not records:
+            raise PlanError("first() on an empty dataset")
+        return records[0]
+
+    def count_by_key(self) -> dict:
+        """Counts per key of ``(key, value)`` records, as a dict."""
+        counted = (self.map(lambda kv: (kv[0], 1), size_ratio=1.0)
+                   .reduce_by_key(lambda a, b: a + b))
+        return dict(counted.collect())
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all records with ``fn`` (associative, commutative)."""
+        records = self.collect()
+        if not records:
+            raise PlanError("reduce() on an empty dataset")
+        result = records[0]
+        for record in records[1:]:
+            result = fn(result, record)
+        return result
+
+    # -- plan-time helpers ---------------------------------------------------------
+
+    def _sample_keys(self, key_fn: Callable[[Any], Any],
+                     max_keys: int = 10000) -> List[Any]:
+        """Collect sample keys by walking narrow lineage to source data."""
+        source = self
+        ops: List[PhysicalOp] = []
+        while isinstance(source, NarrowRDD):
+            ops.insert(0, source.op)
+            source = source.parent
+        partitions = source._plan_time_partitions()
+        if partitions is None:
+            raise PlanError(
+                "sort_by_key needs explicit boundaries when the parent "
+                "is itself a shuffle (no plan-time sample available)")
+        keys: List[Any] = []
+        for partition in partitions:
+            records = partition.records
+            for op in ops:
+                records = op.apply(records)
+            keys.extend(key_fn(record) for record in records)
+            if len(keys) >= max_keys:
+                break
+        return keys[:max_keys]
+
+    def _plan_time_partitions(self) -> Optional[List[Partition]]:
+        """Source data visible before execution, if any."""
+        return None
+
+    # -- Spark-style aliases -----------------------------------------------------
+
+    flatMap = flat_map
+    mapPartitions = map_partitions
+    reduceByKey = reduce_by_key
+    groupByKey = group_by_key
+    sortByKey = sort_by_key
+    saveAsTextFile = save_as_text_file
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(id={self.rdd_id}, "
+                f"partitions={self.num_partitions})")
+
+
+class DfsFileRDD(RDD):
+    """A file in the DFS: one partition per block (``textFile``)."""
+
+    def __init__(self, ctx: "AnalyticsContext", file_name: str,
+                 fmt: DataFormat = PLAIN) -> None:
+        dfs_file = ctx.cluster.dfs.get_file(file_name)
+        if not dfs_file.blocks:
+            raise PlanError(f"DFS file {file_name} has no blocks")
+        super().__init__(ctx, [], len(dfs_file.blocks))
+        self.file_name = file_name
+        self.fmt = fmt
+
+    def _plan_time_partitions(self) -> Optional[List[Partition]]:
+        dfs_file = self.ctx.cluster.dfs.get_file(self.file_name)
+        return [block.payload for block in dfs_file.blocks
+                if isinstance(block.payload, Partition)]
+
+
+class ParallelizedRDD(RDD):
+    """Driver-provided data distributed across workers."""
+
+    def __init__(self, ctx: "AnalyticsContext",
+                 partitions: List[Partition]) -> None:
+        if not partitions:
+            raise PlanError("parallelize needs at least one partition")
+        super().__init__(ctx, [], len(partitions))
+        self.partitions = partitions
+
+    def _plan_time_partitions(self) -> Optional[List[Partition]]:
+        return self.partitions
+
+
+class NarrowRDD(RDD):
+    """A one-to-one transformation of its parent's partitions."""
+
+    def __init__(self, ctx: "AnalyticsContext", parent: RDD,
+                 op: PhysicalOp) -> None:
+        super().__init__(ctx, [parent], parent.num_partitions)
+        self.parent = parent
+        self.op = op
+
+    def _plan_time_partitions(self) -> Optional[List[Partition]]:
+        parent_partitions = self.parent._plan_time_partitions()
+        if parent_partitions is None:
+            return None
+        return [self.op.transform(p) for p in parent_partitions]
+
+
+class UnionRDD(RDD):
+    """Concatenation of datasets: partitions of all parents, side by side.
+
+    No shuffle is involved -- the union stage simply contains every
+    parent's tasks (with each parent's narrow chain fused in).
+    """
+
+    def __init__(self, ctx: "AnalyticsContext",
+                 parents: Sequence[RDD]) -> None:
+        if len(parents) < 2:
+            raise PlanError("union needs at least two datasets")
+        super().__init__(ctx, parents,
+                         sum(parent.num_partitions for parent in parents))
+
+    def _plan_time_partitions(self) -> Optional[List[Partition]]:
+        collected: List[Partition] = []
+        for parent in self.parents:
+            partitions = parent._plan_time_partitions()
+            if partitions is None:
+                return None
+            collected.extend(partitions)
+        return collected
+
+
+class ShuffledRDD(RDD):
+    """A shuffle boundary: repartitioned (and possibly aggregated) data."""
+
+    def __init__(self, ctx: "AnalyticsContext", parents: Sequence[RDD],
+                 num_partitions: int, partitioner: Partitioner,
+                 pre_shuffle_ops: List[List[PhysicalOp]],
+                 post_shuffle_ops: List[PhysicalOp],
+                 name: str = "shuffle") -> None:
+        super().__init__(ctx, parents, num_partitions)
+        if len(pre_shuffle_ops) != len(parents):
+            raise PlanError("one pre-shuffle chain per parent required")
+        self.partitioner = partitioner
+        self.pre_shuffle_ops = pre_shuffle_ops
+        self.post_shuffle_ops = post_shuffle_ops
+        self.name = name
+
+    @property
+    def is_cogroup(self) -> bool:
+        """True when multiple parents feed tagged cogroup sides."""
+        return len(self.parents) > 1
+
+    def _override_combine_ratio(self, ratio: float) -> "ShuffledRDD":
+        """Pin the aggregation's cardinality reduction explicitly.
+
+        Scaled-down workloads carry only a sample of real records, so an
+        aggregation's measured dedup ratio can misrepresent the true
+        group count; this sets the modeled ratio directly: the map-side
+        combine keeps ``ratio`` of its input rows (which sizes the
+        shuffle), and the reduce-side merge is modeled as
+        cardinality-preserving (the groups already exist).
+        """
+        if not 0 < ratio:
+            raise PlanError(f"combine ratio must be positive: {ratio}")
+        from repro.api.ops import CombineByKeyOp
+        for chain in self.pre_shuffle_ops:
+            for op in chain:
+                if isinstance(op, CombineByKeyOp):
+                    op.count_ratio = ratio
+        for op in self.post_shuffle_ops:
+            if isinstance(op, CombineByKeyOp):
+                op.count_ratio = 1.0
+        return self

@@ -1,0 +1,8 @@
+"""Auto-configuration experiments (§7)."""
+
+from repro.autoconf.concurrency import (DEFAULT_SLOT_OPTIONS,
+                                        ConcurrencySweep,
+                                        sweep_spark_concurrency)
+
+__all__ = ["ConcurrencySweep", "sweep_spark_concurrency",
+           "DEFAULT_SLOT_OPTIONS"]

@@ -1,0 +1,79 @@
+"""Leveraging clarity: auto-configuration (§7, Figure 18).
+
+Spark exposes the number of concurrent tasks per worker as a
+configuration parameter (default: the core count) and the best value is
+workload-dependent.  MonoSpark *eliminates* the parameter: each resource
+scheduler admits exactly as many monotasks as its resource can run, so
+concurrency configures itself per resource, and can even differ between
+stages of the same job.
+
+:func:`sweep_spark_concurrency` runs a workload under a set of Spark
+slot configurations plus MonoSpark and reports all runtimes, ready for
+the Figure 18 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.api.context import AnalyticsContext
+from repro.cluster.cluster import Cluster
+from repro.engine.base import JobResult
+
+__all__ = ["ConcurrencySweep", "sweep_spark_concurrency"]
+
+#: The slot counts Figure 18 sweeps.
+DEFAULT_SLOT_OPTIONS = (2, 4, 8, 16, 32)
+
+
+@dataclass
+class ConcurrencySweep:
+    """Runtimes of one workload under each configuration."""
+
+    #: slots -> job seconds for the Spark engine.
+    spark_seconds: Dict[int, float]
+    #: MonoSpark, which self-configures.
+    monospark_seconds: float
+
+    @property
+    def best_spark(self) -> float:
+        """Runtime of the best-tuned Spark configuration."""
+        return min(self.spark_seconds.values())
+
+    @property
+    def best_spark_slots(self) -> int:
+        """The slot count that won the sweep."""
+        return min(self.spark_seconds, key=self.spark_seconds.get)
+
+    @property
+    def worst_spark(self) -> float:
+        """Runtime of the worst Spark configuration."""
+        return max(self.spark_seconds.values())
+
+    @property
+    def monospark_vs_best_spark(self) -> float:
+        """< 1 means MonoSpark beats even the best-tuned Spark."""
+        return self.monospark_seconds / self.best_spark
+
+
+def sweep_spark_concurrency(
+        make_cluster: Callable[[], Cluster],
+        run_workload: Callable[[AnalyticsContext], JobResult],
+        slot_options: Sequence[int] = DEFAULT_SLOT_OPTIONS,
+        spark_options: Optional[dict] = None) -> ConcurrencySweep:
+    """Run ``run_workload`` under every Spark slot count and MonoSpark.
+
+    ``make_cluster`` must build a fresh cluster (with input data) per
+    run so configurations don't share simulator state.
+    """
+    spark_options = spark_options or {}
+    spark_seconds: Dict[int, float] = {}
+    for slots in slot_options:
+        ctx = AnalyticsContext(make_cluster(), engine="spark",
+                               slots_per_machine=slots, **spark_options)
+        spark_seconds[slots] = run_workload(ctx).duration
+    mono_ctx = AnalyticsContext(make_cluster(), engine="monospark")
+    monospark_seconds = run_workload(mono_ctx).duration
+    return ConcurrencySweep(spark_seconds=spark_seconds,
+                            monospark_seconds=monospark_seconds)

@@ -1,0 +1,286 @@
+"""Command-line interface: run the paper's workloads and analyses.
+
+Examples::
+
+    python -m repro sort --engine monospark --machines 20 --fraction 0.05
+    python -m repro bdb --query 2c --engine spark --fraction 0.1
+    python -m repro ml --iterations 3
+    python -m repro wordcount --engine monospark
+    python -m repro whatif --disks 4 --in-memory
+    python -m repro diagnose --degrade-machine 3 --disk-factor 0.3
+    python -m repro trace --output trace.json
+
+Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
+additionally exercise the §6 performance-clarity machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import GB, MB, AnalyticsContext
+from repro.cluster import hdd_cluster, ssd_cluster
+from repro.config import SSD
+from repro.metrics import format_seconds, render_timeline
+from repro.metrics.chrometrace import write_chrome_trace
+from repro.model import (WhatIf, diagnose_stragglers, hardware_profile,
+                         predict, profile_job)
+from repro.workloads.bigdata import (BdbScale, QUERIES, generate_bdb_tables,
+                                     run_query)
+from repro.workloads.ml import MlWorkload, make_ml_context, run_ml_workload
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import (SortWorkload, generate_sort_input,
+                                     run_sort)
+from repro.workloads.wordcount import generate_text_input, word_count
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Monotasks (SOSP 2017) reproduction: run the paper's "
+                    "workloads on a simulated cluster.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, default_machines=20):
+        p.add_argument("--engine", choices=("spark", "monospark"),
+                       default="monospark")
+        p.add_argument("--machines", type=int, default=default_machines)
+        p.add_argument("--disks", type=int, default=2)
+        p.add_argument("--kind", choices=("hdd", "ssd"), default="hdd")
+        p.add_argument("--fraction", type=float, default=0.05,
+                       help="scale of the paper's data volume (default "
+                            "0.05)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sort", help="the paper's 600 GB-class sort")
+    common(p)
+    p.add_argument("--values", type=int, default=25,
+                   help="longs per key (CPU:I/O ratio knob)")
+    p.add_argument("--tasks", type=int, default=480)
+
+    p = sub.add_parser("bdb", help="a Big Data Benchmark query")
+    common(p, default_machines=5)
+    p.add_argument("--query", choices=QUERIES, default="2c")
+
+    p = sub.add_parser("ml", help="least-squares block coordinate descent")
+    p.add_argument("--engine", choices=("spark", "monospark"),
+                   default="monospark")
+    p.add_argument("--machines", type=int, default=15)
+    p.add_argument("--iterations", type=int, default=3)
+
+    p = sub.add_parser("wordcount", help="the Figure 1 word count")
+    common(p, default_machines=4)
+
+    p = sub.add_parser("whatif",
+                       help="measure a sort once, predict new configs")
+    common(p)
+    p.add_argument("--values", type=int, default=25)
+    p.add_argument("--tasks", type=int, default=480)
+    p.add_argument("--new-disks", type=int, default=None,
+                   help="predict with this many disks per machine")
+    p.add_argument("--new-machines", type=int, default=None)
+    p.add_argument("--ssd", action="store_true",
+                   help="predict with SSD-speed disks")
+    p.add_argument("--in-memory", action="store_true",
+                   help="predict input cached deserialized in memory")
+
+    p = sub.add_parser("diagnose",
+                       help="inject degradation, find it from monotasks")
+    common(p, default_machines=10)
+    p.add_argument("--degrade-machine", type=int, default=None)
+    p.add_argument("--disk-factor", type=float, default=1.0)
+    p.add_argument("--cpu-factor", type=float, default=1.0)
+
+    p = sub.add_parser("trace",
+                       help="run a job and export a chrome://tracing JSON")
+    common(p, default_machines=4)
+    p.add_argument("--output", default="trace.json")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the ASCII timeline")
+
+    p = sub.add_parser("reproduce",
+                       help="regenerate one of the paper's figures "
+                            "(runs its benchmark)")
+    p.add_argument("figure",
+                   help="e.g. fig05, fig11, sort, ablation_write_policy; "
+                        "'list' shows all targets")
+    return parser
+
+
+def _make_cluster(args):
+    factory = hdd_cluster if args.kind == "hdd" else ssd_cluster
+    return factory(num_machines=args.machines, num_disks=args.disks,
+                   seed=args.seed,
+                   **scaled_memory_overrides(args.fraction))
+
+
+def _sort_workload(args) -> SortWorkload:
+    return SortWorkload(total_bytes=600 * GB * args.fraction,
+                        values_per_key=args.values,
+                        num_map_tasks=args.tasks)
+
+
+def _report_job(ctx, label: str) -> None:
+    result = ctx.last_result
+    print(f"{label}: {format_seconds(result.duration)} simulated "
+          f"on {ctx.cluster.describe()}")
+    for stage in ctx.metrics.stage_records(result.job_id):
+        print(f"  stage {stage.stage_id} ({stage.name}): "
+              f"{format_seconds(stage.duration)}, {stage.num_tasks} tasks")
+
+
+def _cmd_sort(args) -> int:
+    cluster = _make_cluster(args)
+    workload = _sort_workload(args)
+    generate_sort_input(cluster, workload, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    run_sort(ctx, workload)
+    _report_job(ctx, f"sort ({args.engine})")
+    return 0
+
+
+def _cmd_bdb(args) -> int:
+    cluster = _make_cluster(args)
+    scale = BdbScale(fraction=args.fraction)
+    generate_bdb_tables(cluster, scale, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    run_query(ctx, args.query, scale)
+    _report_job(ctx, f"BDB query {args.query} ({args.engine})")
+    return 0
+
+
+def _cmd_ml(args) -> int:
+    cluster = ssd_cluster(num_machines=args.machines)
+    ctx = make_ml_context(cluster, args.engine, MlWorkload())
+    results = run_ml_workload(ctx, iterations=args.iterations)
+    for index, result in enumerate(results):
+        print(f"iteration {index}: {format_seconds(result.duration)}")
+    return 0
+
+
+def _cmd_wordcount(args) -> int:
+    cluster = _make_cluster(args)
+    generate_text_input(cluster, num_blocks=args.machines * 4,
+                        block_bytes=64 * MB, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    word_count(ctx)
+    _report_job(ctx, f"word count ({args.engine})")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    cluster = _make_cluster(args)
+    workload = _sort_workload(args)
+    generate_sort_input(cluster, workload, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    result = run_sort(ctx, workload)
+    profiles = profile_job(ctx.metrics, result.job_id)
+    hardware = hardware_profile(cluster)
+    new_hardware = hardware.scaled(
+        machines=args.new_machines,
+        disks_per_machine=args.new_disks,
+        disk_throughput_bps=(SSD.throughput_bps if args.ssd else None))
+    what_if = WhatIf(hardware=new_hardware,
+                     input_in_memory_deserialized=args.in_memory)
+    prediction = predict(profiles, result.duration, hardware, what_if)
+    print(f"measured: {format_seconds(result.duration)} on "
+          f"{cluster.describe()}")
+    print(f"what-if ({what_if.describe()}): "
+          f"{format_seconds(prediction.predicted_s)} predicted "
+          f"({result.duration / prediction.predicted_s:.2f}x)")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    cluster = _make_cluster(args)
+    if args.degrade_machine is not None:
+        cluster.degrade_machine(args.degrade_machine,
+                                cpu_factor=args.cpu_factor,
+                                disk_factor=args.disk_factor)
+    workload = SortWorkload(total_bytes=600 * GB * args.fraction,
+                            values_per_key=25,
+                            num_map_tasks=args.machines * 24)
+    generate_sort_input(cluster, workload, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    result = run_sort(ctx, workload)
+    report = diagnose_stragglers(ctx.metrics, result.job_id)
+    print(f"job took {format_seconds(result.duration)}")
+    for machine_id, health in sorted(report.machines.items()):
+        disk = (f"{health.disk_bps / MB:7.1f} MB/s"
+                if health.disk_bps else "      -")
+        cpu = (f"{health.cpu_slowdown:5.2f}x"
+               if health.cpu_slowdown else "    -")
+        print(f"  machine {machine_id:3d}: disk {disk}, cpu {cpu}")
+    print(f"slow disks: {report.slow_disks or 'none'}; "
+          f"slow CPUs: {report.slow_cpus or 'none'}")
+    return 0 if report.healthy else 3
+
+
+def _cmd_trace(args) -> int:
+    cluster = _make_cluster(args)
+    generate_text_input(cluster, num_blocks=args.machines * 4,
+                        block_bytes=64 * MB, seed=args.seed)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    word_count(ctx)
+    if args.engine == "monospark" and args.timeline:
+        print(render_timeline(ctx.metrics, ctx.last_result.job_id))
+    count = write_chrome_trace(ctx.metrics, args.output,
+                               job_id=ctx.last_result.job_id)
+    print(f"wrote {count} events to {args.output} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    import glob
+    import os
+    import subprocess
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "benchmarks")
+    if not os.path.isdir(bench_dir):
+        print("benchmarks/ not found; run from a source checkout")
+        return 2
+    targets = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "test_*.py"))):
+        name = os.path.basename(path)[len("test_"):-len(".py")]
+        targets[name] = path
+        prefix = name.split("_")[0]
+        if prefix.startswith(("fig", "sec", "sort")):
+            targets[prefix] = path  # fig05 etc. as shorthand
+    if args.figure == "list":
+        for name in sorted(n for n in targets if "_" in n):
+            print(name)
+        return 0
+    path = targets.get(args.figure)
+    if path is None:
+        print(f"unknown figure {args.figure!r}; try 'repro reproduce list'")
+        return 2
+    return subprocess.call([sys.executable, "-m", "pytest", path,
+                            "--benchmark-only", "-s", "-q"])
+
+
+_COMMANDS = {
+    "sort": _cmd_sort,
+    "bdb": _cmd_bdb,
+    "ml": _cmd_ml,
+    "wordcount": _cmd_wordcount,
+    "whatif": _cmd_whatif,
+    "diagnose": _cmd_diagnose,
+    "trace": _cmd_trace,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Simulated cluster: machines, network fabric, and the DFS block store."""
+
+from repro.cluster.cluster import Cluster, hdd_cluster, ssd_cluster
+from repro.cluster.hdfs import DEFAULT_BLOCK_BYTES, Dfs, DfsBlock, DfsFile
+from repro.cluster.machine import Machine
+
+__all__ = [
+    "Cluster",
+    "hdd_cluster",
+    "ssd_cluster",
+    "Dfs",
+    "DfsBlock",
+    "DfsFile",
+    "DEFAULT_BLOCK_BYTES",
+    "Machine",
+]

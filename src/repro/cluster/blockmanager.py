@@ -1,0 +1,71 @@
+"""In-memory storage of cached RDD partitions (Spark's block manager).
+
+Cached partitions live in the memory of the machine that computed them;
+later jobs read them locally with no disk, network, or deserialization
+cost (when cached deserialized).  This is the mechanism behind the
+paper's "input stored in-memory and deserialized" experiments (§6.3,
+Figure 13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.datamodel.records import Partition
+from repro.datamodel.serialization import DataFormat
+from repro.errors import ExecutionError
+
+__all__ = ["BlockManager"]
+
+
+class BlockManager:
+    """Cluster-wide map of cached RDD partitions."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._blocks: Dict[Tuple[int, int],
+                           Tuple[int, Partition, DataFormat]] = {}
+
+    def has(self, rdd_id: int, partition_index: int) -> bool:
+        """True if the partition is cached somewhere."""
+        return (rdd_id, partition_index) in self._blocks
+
+    def location(self, rdd_id: int, partition_index: int) -> Optional[int]:
+        """Machine holding the cached partition, or None."""
+        entry = self._blocks.get((rdd_id, partition_index))
+        return entry[0] if entry else None
+
+    def get(self, rdd_id: int,
+            partition_index: int) -> Tuple[int, Partition, DataFormat]:
+        """The cached (machine, partition, format); raises if absent."""
+        entry = self._blocks.get((rdd_id, partition_index))
+        if entry is None:
+            raise ExecutionError(
+                f"partition {partition_index} of RDD {rdd_id} is not cached")
+        return entry
+
+    def put(self, rdd_id: int, partition_index: int, machine_id: int,
+            partition: Partition, fmt: DataFormat) -> None:
+        """Cache a partition on a machine, accounting its memory."""
+        key = (rdd_id, partition_index)
+        old = self._blocks.get(key)
+        machine = self.cluster.machine(machine_id)
+        if old is not None:
+            self.cluster.machine(old[0]).memory.release(old[1].data_bytes)
+        machine.memory.acquire(partition.data_bytes)
+        self._blocks[key] = (machine_id, partition, fmt)
+
+    def evict_rdd(self, rdd_id: int) -> int:
+        """Drop every cached partition of an RDD; returns count evicted."""
+        keys = [key for key in self._blocks if key[0] == rdd_id]
+        for key in keys:
+            machine_id, partition, _ = self._blocks.pop(key)
+            self.cluster.machine(machine_id).memory.release(
+                partition.data_bytes)
+        return len(keys)
+
+    def cached_bytes(self) -> float:
+        """Total bytes cached cluster-wide."""
+        return sum(partition.data_bytes
+                   for _, partition, _ in self._blocks.values())

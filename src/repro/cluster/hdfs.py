@@ -1,0 +1,147 @@
+"""A distributed file system model (HDFS-like).
+
+Files are split into fixed-size blocks; each block is replicated on
+``replication`` machines (chosen round-robin for determinism, like a
+balanced HDFS).  The job scheduler uses the block → machine map for
+locality-aware task placement, exactly as both Spark and MonoSpark do
+(§3.2: "multitasks ... are assigned to workers based on data locality").
+
+Blocks carry *modeled* sizes plus the actual partition payloads so that
+reads return real records while charging simulated disk time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, SimulationError
+
+__all__ = ["DfsBlock", "DfsFile", "Dfs", "DEFAULT_BLOCK_BYTES"]
+
+DEFAULT_BLOCK_BYTES = 128 * 1024 * 1024
+
+
+@dataclass
+class DfsBlock:
+    """One block of a DFS file."""
+
+    file_name: str
+    index: int
+    nbytes: float
+    #: (machine_id, disk_index) replicas holding this block.
+    replicas: List[Tuple[int, int]]
+    #: Opaque payload (a Partition for input files, None for pure output).
+    payload: object = None
+
+    @property
+    def block_id(self) -> str:
+        """Unique id: file name plus block index."""
+        return f"{self.file_name}#{self.index}"
+
+    def machines(self) -> List[int]:
+        """Machines holding a replica."""
+        return [machine for machine, _ in self.replicas]
+
+    def disk_on(self, machine_id: int) -> int:
+        """Which disk holds the replica on ``machine_id``."""
+        for machine, disk in self.replicas:
+            if machine == machine_id:
+                return disk
+        raise ExecutionError(
+            f"block {self.block_id} has no replica on machine {machine_id}")
+
+
+@dataclass
+class DfsFile:
+    name: str
+    blocks: List[DfsBlock] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> float:
+        """Total stored bytes across the file's blocks."""
+        return sum(block.nbytes for block in self.blocks)
+
+
+class Dfs:
+    """The cluster-wide block store."""
+
+    def __init__(self, num_machines: int, disks_per_machine: int,
+                 replication: int = 3,
+                 block_bytes: float = DEFAULT_BLOCK_BYTES) -> None:
+        if num_machines < 1:
+            raise SimulationError("DFS needs at least one machine")
+        if replication < 1:
+            raise SimulationError("replication must be >= 1")
+        self.num_machines = num_machines
+        self.disks_per_machine = disks_per_machine
+        self.replication = min(replication, num_machines)
+        self.block_bytes = block_bytes
+        self._files: Dict[str, DfsFile] = {}
+        self._placement_cursor = 0
+
+    def _place_block(self) -> List[Tuple[int, int]]:
+        replicas = []
+        for r in range(self.replication):
+            machine = (self._placement_cursor + r) % self.num_machines
+            disk = ((self._placement_cursor + r)
+                    // self.num_machines) % self.disks_per_machine
+            replicas.append((machine, disk))
+        self._placement_cursor += 1
+        return replicas
+
+    def create_file(self, name: str, block_payloads: Sequence[object],
+                    block_sizes: Sequence[float]) -> DfsFile:
+        """Register a file whose blocks already exist on disk.
+
+        Used to set up input data before a job runs, mirroring the paper's
+        experimental setup of pre-loading HDFS with the input dataset.
+        """
+        if name in self._files:
+            raise SimulationError(f"DFS file already exists: {name}")
+        if len(block_payloads) != len(block_sizes):
+            raise SimulationError("payloads and sizes must align")
+        dfs_file = DfsFile(name)
+        for index, (payload, nbytes) in enumerate(
+                zip(block_payloads, block_sizes)):
+            dfs_file.blocks.append(DfsBlock(
+                file_name=name, index=index, nbytes=nbytes,
+                replicas=self._place_block(), payload=payload))
+        self._files[name] = dfs_file
+        return dfs_file
+
+    def open_output_file(self, name: str) -> DfsFile:
+        """Create an empty file that tasks will append output blocks to."""
+        if name in self._files:
+            raise SimulationError(f"DFS file already exists: {name}")
+        dfs_file = DfsFile(name)
+        self._files[name] = dfs_file
+        return dfs_file
+
+    def append_output_block(self, name: str, nbytes: float,
+                            writer_machine: int, writer_disk: int,
+                            payload: object = None) -> DfsBlock:
+        """Record a block written by a task (first replica is local)."""
+        dfs_file = self._files.get(name)
+        if dfs_file is None:
+            raise ExecutionError(f"no such DFS file: {name}")
+        replicas = [(writer_machine, writer_disk)]
+        block = DfsBlock(file_name=name, index=len(dfs_file.blocks),
+                         nbytes=nbytes, replicas=replicas, payload=payload)
+        dfs_file.blocks.append(block)
+        return block
+
+    def get_file(self, name: str) -> DfsFile:
+        """Look up a file; raises if it does not exist."""
+        dfs_file = self._files.get(name)
+        if dfs_file is None:
+            raise ExecutionError(f"no such DFS file: {name}")
+        return dfs_file
+
+    def exists(self, name: str) -> bool:
+        """True if the file exists."""
+        return name in self._files
+
+    def files(self) -> List[str]:
+        """All file names, sorted."""
+        return sorted(self._files)

@@ -1,0 +1,62 @@
+"""A simulated worker machine.
+
+Bundles the hardware models -- CPU cores, disks, the OS buffer cache, the
+memory pool, and the NIC registration -- for one worker, giving both
+frameworks a single object to schedule against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import MachineSpec
+from repro.simulator import (BufferCache, CpuPool, Disk, Environment,
+                             MemoryPool, Network)
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One worker: id, hardware models, and attachment to the fabric."""
+
+    def __init__(self, env: Environment, machine_id: int, spec: MachineSpec,
+                 network: Network) -> None:
+        self.env = env
+        self.machine_id = machine_id
+        self.spec = spec
+        self.cpu = CpuPool(env, spec.cores, name=f"m{machine_id}.cpu")
+        self.disks: List[Disk] = [
+            Disk(env, disk_spec, name=f"m{machine_id}.disk{i}")
+            for i, disk_spec in enumerate(spec.disks)
+        ]
+        self.cache = BufferCache(env, spec, self.disks,
+                                 name=f"m{machine_id}.cache")
+        self.memory = MemoryPool(env, spec.memory_bytes,
+                                 name=f"m{machine_id}.mem")
+        self.network = network
+        network.register_machine(machine_id, up_bps=spec.network_bps,
+                                 down_bps=spec.network_bps)
+        self._next_write_disk = 0
+
+    @property
+    def num_disks(self) -> int:
+        """Disks attached to this machine."""
+        return len(self.disks)
+
+    def pick_write_disk(self) -> int:
+        """Choose a disk for new data: round-robin, load-unaware.
+
+        The paper notes (§8, "Disk scheduling") that its prototype balances
+        requests across disks independent of load; we match that.
+        """
+        disk = self._next_write_disk
+        self._next_write_disk = (self._next_write_disk + 1) % self.num_disks
+        return disk
+
+    def aggregate_disk_throughput_bps(self) -> float:
+        """Sum of this machine's sequential disk bandwidth."""
+        return sum(d.spec.throughput_bps for d in self.disks)
+
+    def __repr__(self) -> str:
+        return (f"Machine({self.machine_id}, cores={self.spec.cores}, "
+                f"disks={self.num_disks})")

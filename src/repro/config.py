@@ -1,0 +1,154 @@
+"""Hardware specifications and software cost models.
+
+All the constants that determine *simulated time* live here, so that an
+experiment can change hardware (disk count, HDD vs. SSD, network speed,
+cluster size) or software behaviour (compression, write-through, slot
+counts) by constructing new spec objects rather than editing engine code.
+
+The default values are calibrated to the paper's EC2 setup: m2.4xlarge-
+and i2.2xlarge-class machines with 8 vCPUs, ~60 GB of memory, two HDDs or
+one/two SSDs, and a ~1 Gbps network.  The CPU-side costs reflect Spark
+1.3's (in)efficiency, which the paper is explicit about inheriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DiskSpec",
+    "HDD",
+    "SSD",
+    "MachineSpec",
+    "CostModel",
+    "M2_4XLARGE",
+    "I2_2XLARGE",
+    "KB",
+    "MB",
+    "GB",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A physical disk model.
+
+    ``seek_time_s`` is charged whenever the head switches between request
+    streams (or starts a new request); ``throughput_bps`` is the
+    sequential transfer rate; ``max_concurrency`` is how many requests the
+    device can service concurrently without losing throughput (1 for a
+    spinning disk, >1 for flash).
+    """
+
+    kind: str
+    throughput_bps: float
+    seek_time_s: float
+    max_concurrency: int = 1
+    #: Granularity at which the device interleaves concurrent request
+    #: streams: one seek is paid per switch.  ~4 MB matches OS readahead
+    #: windows for concurrent sequential readers on spinning disks.
+    interleave_bytes: int = 4 * MB
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps <= 0:
+            raise ConfigError(f"disk throughput must be positive: {self}")
+        if self.seek_time_s < 0:
+            raise ConfigError(f"disk seek time must be >= 0: {self}")
+        if self.max_concurrency < 1:
+            raise ConfigError(f"disk concurrency must be >= 1: {self}")
+        if self.interleave_bytes <= 0:
+            raise ConfigError(f"disk interleave must be positive: {self}")
+
+
+#: A datacenter hard disk: ~130 MB/s sequential, 8 ms average seek.
+HDD = DiskSpec(kind="hdd", throughput_bps=130 * MB, seek_time_s=0.008,
+               max_concurrency=1)
+
+#: An i2-class SSD: ~450 MB/s, negligible seek, parallel internally.
+SSD = DiskSpec(kind="ssd", throughput_bps=450 * MB, seek_time_s=0.0001,
+               max_concurrency=4)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A worker machine: cores, memory, disks, NIC, and OS cache."""
+
+    cores: int = 8
+    memory_bytes: float = 60 * GB
+    disks: tuple[DiskSpec, ...] = (HDD, HDD)
+    #: Full-duplex NIC bandwidth in bytes/s (~1 Gbps = 125 MB/s).
+    network_bps: float = 125 * MB
+    #: OS page cache available for buffered writes/reads.
+    buffer_cache_bytes: float = 30 * GB
+    #: Dirty-data threshold at which the flusher starts writing back.
+    dirty_background_bytes: float = 2 * GB
+    #: Memory-copy bandwidth for cache hits and in-memory moves.
+    memcpy_bps: float = 4 * GB
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"machine needs >= 1 core: {self}")
+        if not self.disks:
+            raise ConfigError("machine needs at least one disk")
+        if self.memory_bytes <= 0 or self.network_bps <= 0:
+            raise ConfigError(f"invalid machine spec: {self}")
+        if self.buffer_cache_bytes < 0 or self.dirty_background_bytes < 0:
+            raise ConfigError(f"invalid cache spec: {self}")
+
+    def with_disks(self, *disks: DiskSpec) -> "MachineSpec":
+        """A copy of the spec with a different disk complement."""
+        return replace(self, disks=tuple(disks))
+
+
+#: The paper's HDD machines (m2.4xlarge): 8 vCPU, ~60 GB, 2 HDD, ~1 Gbps.
+M2_4XLARGE = MachineSpec(cores=8, memory_bytes=60 * GB, disks=(HDD, HDD),
+                         network_bps=125 * MB)
+
+#: The paper's SSD machines (i2.2xlarge): 8 vCPU, ~60 GB, 2 SSD, ~1 Gbps.
+I2_2XLARGE = MachineSpec(cores=8, memory_bytes=60 * GB, disks=(SSD, SSD),
+                         network_bps=125 * MB)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Software-side costs charged to the CPU, in seconds.
+
+    Serialization and deserialization dominate Spark 1.3's CPU profile,
+    so they are modeled per byte; per-record costs cover object creation
+    and function-call overhead.  Workload operators add their own compute
+    on top via :class:`repro.api.ops.OpCost`.
+    """
+
+    deserialize_s_per_byte: float = 1.0 / (150 * MB)
+    serialize_s_per_byte: float = 1.0 / (200 * MB)
+    #: Per-record object creation / reflection overheads dominate small
+    #: records on Spark 1.3 (the paper's version, which it notes "is
+    #: known to have various CPU inefficiencies").
+    deserialize_s_per_record: float = 1.0e-6
+    serialize_s_per_record: float = 0.5e-6
+    #: Decompression/compression, applied when a dataset is compressed.
+    decompress_s_per_byte: float = 1.0 / (400 * MB)
+    compress_s_per_byte: float = 1.0 / (250 * MB)
+    #: Fixed CPU cost to launch a task (deserialize the task descriptor)
+    #: and to finish it (serialize metrics back to the scheduler).
+    task_setup_s: float = 0.002
+    task_cleanup_s: float = 0.001
+    #: CPU cost to issue an I/O request (monotask creation, syscalls).
+    io_request_cpu_s: float = 0.0002
+
+    def __post_init__(self) -> None:
+        for name in (
+            "deserialize_s_per_byte", "serialize_s_per_byte",
+            "deserialize_s_per_record", "serialize_s_per_record",
+            "decompress_s_per_byte", "compress_s_per_byte",
+            "task_setup_s", "task_cleanup_s", "io_request_cpu_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"cost model field {name} must be >= 0")

@@ -1,0 +1,20 @@
+"""Data model: partitions with modeled sizes, formats, shuffle registry."""
+
+from repro.datamodel.records import Partition, estimate_record_bytes
+from repro.datamodel.serialization import (COMPRESSED, DESERIALIZED, PLAIN,
+                                           DataFormat, deserialize_seconds,
+                                           serialize_seconds)
+from repro.datamodel.shuffle import MapOutputRegistry, ShuffleBucket
+
+__all__ = [
+    "Partition",
+    "estimate_record_bytes",
+    "DataFormat",
+    "PLAIN",
+    "COMPRESSED",
+    "DESERIALIZED",
+    "deserialize_seconds",
+    "serialize_seconds",
+    "MapOutputRegistry",
+    "ShuffleBucket",
+]

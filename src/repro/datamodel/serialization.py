@@ -1,0 +1,73 @@
+"""Serialization, deserialization, and compression cost model.
+
+The paper separates deserialization time from "the remaining computation"
+inside each compute monotask (§6.3), because predicting the benefit of
+storing data deserialized in memory requires knowing exactly how much CPU
+time (de)serialization costs.  This module is the single place those
+costs are computed, for both engines and the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CostModel
+from repro.datamodel.records import Partition
+
+__all__ = ["DataFormat", "deserialize_seconds", "serialize_seconds",
+           "PLAIN", "COMPRESSED", "DESERIALIZED"]
+
+
+@dataclass(frozen=True)
+class DataFormat:
+    """How a dataset is physically encoded.
+
+    * ``serialized``: bytes that must be decoded before compute (the
+      normal on-disk / on-wire format).
+    * ``compressed``: additionally run through a compression codec (the
+      Big Data Benchmark uses compressed sequence files).
+    * ``compression_ratio``: on-disk bytes / logical bytes when
+      compressed.
+    """
+
+    serialized: bool = True
+    compressed: bool = False
+    compression_ratio: float = 0.5
+
+    def stored_bytes(self, logical_bytes: float) -> float:
+        """Bytes on disk / on the wire for ``logical_bytes`` of data."""
+        if self.compressed:
+            return logical_bytes * self.compression_ratio
+        return logical_bytes
+
+
+PLAIN = DataFormat(serialized=True, compressed=False)
+COMPRESSED = DataFormat(serialized=True, compressed=True)
+#: In-memory, already-deserialized data (cached RDDs): no decode cost.
+DESERIALIZED = DataFormat(serialized=False, compressed=False)
+
+
+def deserialize_seconds(partition: Partition, fmt: DataFormat,
+                        cost: CostModel) -> float:
+    """CPU seconds to turn stored bytes back into records."""
+    if not fmt.serialized:
+        return 0.0
+    seconds = (cost.deserialize_s_per_byte * partition.data_bytes
+               + cost.deserialize_s_per_record * partition.record_count)
+    if fmt.compressed:
+        seconds += cost.decompress_s_per_byte * fmt.stored_bytes(
+            partition.data_bytes)
+    return seconds
+
+
+def serialize_seconds(partition: Partition, fmt: DataFormat,
+                      cost: CostModel) -> float:
+    """CPU seconds to encode records into stored bytes."""
+    if not fmt.serialized:
+        return 0.0
+    seconds = (cost.serialize_s_per_byte * partition.data_bytes
+               + cost.serialize_s_per_record * partition.record_count)
+    if fmt.compressed:
+        seconds += cost.compress_s_per_byte * fmt.stored_bytes(
+            partition.data_bytes)
+    return seconds

@@ -1,0 +1,106 @@
+"""Shuffle bookkeeping shared by both engines.
+
+The map side of a shuffle writes one bucket per reduce partition; the
+reduce side must discover where every bucket lives.  A
+:class:`MapOutputRegistry` plays the role of Spark's MapOutputTracker:
+map tasks register their buckets (with location and storage medium), and
+reduce tasks query the registry to plan fetches.
+
+Buckets carry real records (for correctness) plus modeled bytes (for
+simulated I/O time), like everything else in the data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.datamodel.records import Partition
+from repro.errors import ShuffleError
+
+__all__ = ["ShuffleBucket", "MapOutputRegistry"]
+
+
+@dataclass
+class ShuffleBucket:
+    """One (map task, reduce partition) bucket of shuffle data."""
+
+    shuffle_id: int
+    map_index: int
+    reduce_index: int
+    machine_id: int
+    #: Disk the bucket was written to, or None if it lives in memory
+    #: (the paper's ML workload stores shuffle data in-memory).
+    disk_index: Optional[int]
+    partition: Partition
+
+    @property
+    def nbytes(self) -> float:
+        """Modeled bytes in the bucket."""
+        return self.partition.data_bytes
+
+    @property
+    def block_id(self) -> str:
+        """Storage id: shuffle, map task, and reduce partition."""
+        return (f"shuffle{self.shuffle_id}"
+                f"-m{self.map_index}-r{self.reduce_index}")
+
+    @property
+    def in_memory(self) -> bool:
+        """True when the bucket was never written to disk."""
+        return self.disk_index is None
+
+
+class MapOutputRegistry:
+    """Cluster-wide registry of where shuffle buckets live."""
+
+    def __init__(self) -> None:
+        #: shuffle_id -> reduce_index -> list of buckets (one per map task).
+        self._buckets: Dict[int, Dict[int, List[ShuffleBucket]]] = {}
+        self._maps_registered: Dict[int, int] = {}
+        self._num_maps: Dict[int, int] = {}
+
+    def expect_maps(self, shuffle_id: int, num_maps: int) -> None:
+        """Declare how many map tasks the shuffle has (for completeness
+        checks when reduce tasks start fetching)."""
+        self._num_maps[shuffle_id] = num_maps
+        self._maps_registered.setdefault(shuffle_id, 0)
+        self._buckets.setdefault(shuffle_id, {})
+
+    def register_map_output(self, shuffle_id: int, map_index: int,
+                            machine_id: int, disk_index: Optional[int],
+                            buckets: Dict[int, Partition]) -> None:
+        """Record every bucket a map task produced."""
+        per_reduce = self._buckets.setdefault(shuffle_id, {})
+        for reduce_index, partition in buckets.items():
+            per_reduce.setdefault(reduce_index, []).append(ShuffleBucket(
+                shuffle_id=shuffle_id, map_index=map_index,
+                reduce_index=reduce_index, machine_id=machine_id,
+                disk_index=disk_index, partition=partition))
+        self._maps_registered[shuffle_id] = (
+            self._maps_registered.get(shuffle_id, 0) + 1)
+
+    def buckets_for_reduce(self, shuffle_id: int,
+                           reduce_index: int) -> List[ShuffleBucket]:
+        """All buckets a reduce task must fetch, sorted by map index."""
+        if shuffle_id not in self._buckets:
+            raise ShuffleError(f"unknown shuffle {shuffle_id}")
+        expected = self._num_maps.get(shuffle_id)
+        registered = self._maps_registered.get(shuffle_id, 0)
+        if expected is not None and registered < expected:
+            raise ShuffleError(
+                f"shuffle {shuffle_id}: only {registered}/{expected} map "
+                f"outputs registered")
+        buckets = self._buckets[shuffle_id].get(reduce_index, [])
+        return sorted(buckets, key=lambda b: b.map_index)
+
+    def total_shuffle_bytes(self, shuffle_id: int) -> float:
+        """All registered bytes of one shuffle."""
+        per_reduce = self._buckets.get(shuffle_id, {})
+        return sum(bucket.nbytes
+                   for buckets in per_reduce.values()
+                   for bucket in buckets)
+
+    def shuffle_ids(self) -> Iterator[int]:
+        """Registered shuffle ids, ascending."""
+        return iter(sorted(self._buckets))

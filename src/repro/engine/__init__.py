@@ -1,0 +1,13 @@
+"""Shared engine machinery: driver loop, task pool, task semantics."""
+
+from repro.engine.base import BaseEngine, JobResult, TaskPool
+from repro.engine.semantics import ResolvedInput, TaskWork, compute_task_work
+
+__all__ = [
+    "BaseEngine",
+    "JobResult",
+    "TaskPool",
+    "ResolvedInput",
+    "TaskWork",
+    "compute_task_work",
+]

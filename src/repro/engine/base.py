@@ -1,0 +1,378 @@
+"""Engine-independent execution machinery.
+
+Both engines share: the job driver (stages launch when their parents
+finish), the locality-aware task pool, input resolution against the DFS /
+shuffle registry / block manager, and result assembly.  Subclasses
+implement two things only: how many multitasks to assign concurrently to
+each machine (§3.4) and how one task actually uses the hardware -- which
+is precisely the axis the paper varies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.api.plan import (CachedInput, CollectOutput, DfsInput, DfsOutput,
+                            JobPlan, LocalInput, ShuffleInput, ShuffleOutput,
+                            Stage, TaskDescriptor)
+from repro.cluster.blockmanager import BlockManager
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine
+from repro.config import CostModel
+from repro.datamodel.records import Partition
+from repro.datamodel.serialization import DESERIALIZED
+from repro.datamodel.shuffle import MapOutputRegistry
+from repro.engine.semantics import ResolvedInput, TaskWork, compute_task_work
+from repro.errors import ExecutionError
+from repro.metrics.collector import MetricsCollector
+from repro.simulator import Environment, Event
+
+__all__ = ["JobResult", "TaskPool", "BaseEngine"]
+
+
+class JobResult:
+    """What an action returns: timing plus any collected data."""
+
+    def __init__(self, job_id: int, name: str, start: float,
+                 end: float) -> None:
+        self.job_id = job_id
+        self.name = name
+        self.start = start
+        self.end = end
+        #: Records per final-stage task (CollectOutput only).
+        self.collected: Optional[List[List[Any]]] = None
+        #: Modeled record count (CollectOutput(count_only=True)).
+        self.count: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Job wall-clock seconds."""
+        return self.end - self.start
+
+    def all_records(self) -> List[Any]:
+        """All collected records, in task-index order."""
+        if self.collected is None:
+            raise ExecutionError("job did not collect records")
+        records: List[Any] = []
+        for task_records in self.collected:
+            records.extend(task_records)
+        return records
+
+
+class TaskPool:
+    """Assigns pending tasks to per-machine execution slots.
+
+    ``concurrency[machine_id]`` tasks run concurrently on each machine.
+    A central dispatcher (standing in for the job scheduler's driver)
+    assigns pending tasks in FIFO order, placing each on the free
+    machine it prefers (data locality) when possible and otherwise on
+    the free machine with the most idle slots.  Spark would wait out a
+    locality delay before running a task remotely; immediate remote
+    placement approximates the expired-delay case and keeps both
+    engines' placement identical.
+    """
+
+    def __init__(self, env: Environment, machines: List[Machine],
+                 concurrency: Dict[int, int],
+                 run_task: Callable[[TaskDescriptor, Machine], Generator],
+                 policy: str = "fifo") -> None:
+        if policy not in ("fifo", "fair"):
+            raise ExecutionError(f"unknown scheduling policy: {policy!r}")
+        self.env = env
+        self.machines = {m.machine_id: m for m in machines}
+        self.run_task = run_task
+        #: "fifo" serves pending tasks in submission order; "fair"
+        #: round-robins across jobs (the §8 "share machines between
+        #: different users" policy).
+        self.policy = policy
+        self.pending: Deque[TaskDescriptor] = deque()
+        self.free_slots: Dict[int, int] = dict(concurrency)
+        self._done: Dict[str, Event] = {}
+        self._last_job_served: Optional[int] = None
+
+    def submit(self, descriptor: TaskDescriptor) -> Event:
+        """Queue a task; the event fires when it completes."""
+        done = self.env.event()
+        self._done[descriptor.task_id] = done
+        self.pending.append(descriptor)
+        self._dispatch()
+        return done
+
+    def _next_pending(self) -> Optional[TaskDescriptor]:
+        """The task to place next, honoring the scheduling policy."""
+        if not self.pending:
+            return None
+        if self.policy == "fifo":
+            return self.pending[0]
+        # Fair: prefer the next job after the one served last.
+        job_ids = sorted({task.job_id for task in self.pending})
+        if self._last_job_served in job_ids:
+            start = job_ids.index(self._last_job_served) + 1
+        else:
+            start = 0
+        target = job_ids[start % len(job_ids)]
+        for task in self.pending:
+            if task.job_id == target:
+                return task
+        return self.pending[0]
+
+    def _choose_machine(self, task: TaskDescriptor) -> Optional[int]:
+        """Freest preferred machine, else the freest machine overall."""
+        preferred = [m for m in task.preferred_machines
+                     if self.free_slots.get(m, 0) > 0]
+        if preferred:
+            return max(preferred, key=lambda m: (self.free_slots[m], -m))
+        candidates = [m for m, free in self.free_slots.items() if free > 0]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda m: (self.free_slots[m], -m))
+
+    def _dispatch(self) -> None:
+        # Place tasks until the next candidate is unplaceable, so the
+        # policy's ordering is respected (like a driver's task queue).
+        while self.pending:
+            task = self._next_pending()
+            machine_id = self._choose_machine(task)
+            if machine_id is None:
+                return
+            self.pending.remove(task)
+            self._last_job_served = task.job_id
+            self.free_slots[machine_id] -= 1
+            self.env.process(self._run(task, self.machines[machine_id]))
+
+    def _run(self, task: TaskDescriptor, machine: Machine) -> Generator:
+        try:
+            yield self.env.process(self.run_task(task, machine))
+        finally:
+            self.free_slots[machine.machine_id] += 1
+        self._done.pop(task.task_id).succeed()
+        self._dispatch()
+
+
+class BaseEngine:
+    """Shared driver: subclasses provide task execution and concurrency."""
+
+    name = "base"
+
+    def __init__(self, cluster: Cluster,
+                 cost_model: Optional[CostModel] = None,
+                 metrics: Optional[MetricsCollector] = None,
+                 scheduling_policy: str = "fifo") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.cost = cost_model or CostModel()
+        self.metrics = metrics or MetricsCollector()
+        self.block_manager = BlockManager(cluster)
+        self.map_outputs = MapOutputRegistry()
+        #: (job_id, stage_id, task_index) -> collected records / count.
+        self._task_outputs: Dict[Tuple[int, int, int], Any] = {}
+        #: job_id -> [(machine_id, bytes)] of in-memory shuffle data,
+        #: released when the job completes (shuffles are intra-job).
+        self._in_memory_shuffle: Dict[int, List[Tuple[int, float]]] = {}
+        self.pool = TaskPool(
+            self.env, cluster.machines,
+            {m.machine_id: self.concurrency_for(m) for m in cluster.machines},
+            self._execute_task, policy=scheduling_policy)
+
+    # -- subclass hooks ------------------------------------------------------------
+
+    def concurrency_for(self, machine: Machine) -> int:
+        """How many multitasks to assign concurrently to a machine (§3.4)."""
+        raise NotImplementedError
+
+    def run_task_on_machine(self, work: TaskWork,
+                            machine: Machine) -> Generator:
+        """Drive one task's resource use; must yield simulation events."""
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------------
+
+    def run_job(self, plan: JobPlan) -> JobResult:
+        """Run one job to completion."""
+        return self.run_jobs([plan])[0]
+
+    def run_jobs(self, plans: List[JobPlan]) -> List[JobResult]:
+        """Run jobs concurrently; returns once all complete."""
+        results: Dict[int, JobResult] = {}
+        drivers = [self.env.process(self._job_driver(plan, results))
+                   for plan in plans]
+        self.env.run(until=self.env.all_of(drivers))
+        return [results[plan.job_id] for plan in plans]
+
+    # -- job driving ---------------------------------------------------------------
+
+    def _job_driver(self, plan: JobPlan,
+                    results: Dict[int, JobResult]) -> Generator:
+        self.metrics.job_started(plan.job_id, plan.name, self.env.now)
+        start = self.env.now
+        self._prepare_outputs(plan)
+        stage_done: Dict[int, Event] = {
+            stage.stage_id: self.env.event() for stage in plan.stages}
+        for stage in plan.stages:
+            self.env.process(self._stage_runner(plan, stage, stage_done))
+        yield self.env.all_of(list(stage_done.values()))
+        self._release_in_memory_shuffle(plan.job_id)
+        self.metrics.job_finished(plan.job_id, self.env.now)
+        results[plan.job_id] = self._assemble_result(plan, start)
+        return results[plan.job_id]
+
+    def note_in_memory_shuffle(self, job_id: int, machine: Machine,
+                               nbytes: float) -> None:
+        """Account shuffle data held in worker memory until job end."""
+        machine.memory.acquire(nbytes)
+        self._in_memory_shuffle.setdefault(job_id, []).append(
+            (machine.machine_id, nbytes))
+
+    def _release_in_memory_shuffle(self, job_id: int) -> None:
+        for machine_id, nbytes in self._in_memory_shuffle.pop(job_id, []):
+            self.cluster.machine(machine_id).memory.release(nbytes)
+
+    def _prepare_outputs(self, plan: JobPlan) -> None:
+        for stage in plan.stages:
+            for task in stage.tasks:
+                output = task.output
+                if isinstance(output, ShuffleOutput):
+                    self.map_outputs.expect_maps(output.shuffle_id,
+                                                 stage.num_tasks)
+                    break  # Same output spec for every task in the stage.
+                if isinstance(output, DfsOutput):
+                    if not self.cluster.dfs.exists(output.file_name):
+                        self.cluster.dfs.open_output_file(output.file_name)
+                    break
+                break
+
+    def _stage_runner(self, plan: JobPlan, stage: Stage,
+                      stage_done: Dict[int, Event]) -> Generator:
+        if stage.parent_stage_ids:
+            yield self.env.all_of(
+                [stage_done[parent] for parent in stage.parent_stage_ids])
+        self.metrics.stage_started(plan.job_id, stage.stage_id, stage.name,
+                                   stage.num_tasks, self.env.now)
+        task_events = [self.pool.submit(task) for task in stage.tasks]
+        if task_events:
+            yield self.env.all_of(task_events)
+        self.metrics.stage_finished(plan.job_id, stage.stage_id, self.env.now)
+        stage_done[stage.stage_id].succeed()
+
+    # -- task execution wrapper -----------------------------------------------------
+
+    def _execute_task(self, descriptor: TaskDescriptor,
+                      machine: Machine) -> Generator:
+        inputs = self._resolve_inputs(descriptor, machine)
+        work = compute_task_work(descriptor, inputs, self.cost)
+        record = self.metrics.task_started(
+            descriptor.job_id, descriptor.stage_id, descriptor.index,
+            machine.machine_id, self.env.now)
+        yield self.env.process(self.run_task_on_machine(work, machine))
+        record.end = self.env.now
+        self._finalize_task(work, machine)
+
+    def _finalize_task(self, work: TaskWork, machine: Machine) -> None:
+        descriptor = work.descriptor
+        output = descriptor.output
+        if isinstance(output, CollectOutput):
+            key = (descriptor.job_id, descriptor.stage_id, descriptor.index)
+            if output.count_only:
+                self._task_outputs[key] = work.output_partition.record_count
+            else:
+                self._task_outputs[key] = list(work.output_partition.records)
+        if descriptor.cache is not None and work.cache_partition is not None:
+            self.block_manager.put(
+                descriptor.cache.rdd_id, descriptor.index,
+                machine.machine_id, work.cache_partition,
+                descriptor.cache.fmt)
+
+    # -- input resolution -------------------------------------------------------------
+
+    def _resolve_inputs(self, descriptor: TaskDescriptor,
+                        machine: Machine) -> List[ResolvedInput]:
+        spec = descriptor.input
+        if isinstance(spec, DfsInput):
+            return [self._resolve_dfs_input(spec, machine)]
+        if isinstance(spec, LocalInput):
+            return [ResolvedInput(partition=spec.partition, stored_bytes=0.0,
+                                  fmt=DESERIALIZED, machine_id=None,
+                                  in_memory=True)]
+        if isinstance(spec, CachedInput):
+            location, partition, fmt = self.block_manager.get(
+                spec.rdd_id, spec.partition_index)
+            return [ResolvedInput(partition=partition,
+                                  stored_bytes=partition.data_bytes,
+                                  fmt=fmt, machine_id=location,
+                                  in_memory=True)]
+        if isinstance(spec, ShuffleInput):
+            resolved = []
+            for dep in spec.deps:
+                for bucket in self.map_outputs.buckets_for_reduce(
+                        dep.shuffle_id, spec.reduce_index):
+                    resolved.append(ResolvedInput(
+                        partition=bucket.partition,
+                        stored_bytes=dep.fmt.stored_bytes(bucket.nbytes),
+                        fmt=dep.fmt,
+                        machine_id=bucket.machine_id,
+                        disk_index=bucket.disk_index,
+                        in_memory=bucket.in_memory,
+                        map_index=bucket.map_index,
+                        tag_side=dep.side if spec.tagged else None,
+                        block_id=bucket.block_id))
+            return resolved
+        raise ExecutionError(f"unknown input spec: {spec!r}")
+
+    def _resolve_dfs_input(self, spec: DfsInput,
+                           machine: Machine) -> ResolvedInput:
+        block = spec.block
+        payload = block.payload
+        if not isinstance(payload, Partition):
+            raise ExecutionError(
+                f"DFS block {block.block_id} has no partition payload")
+        if machine.machine_id in block.machines():
+            location = machine.machine_id
+            disk_index = block.disk_on(machine.machine_id)
+        else:
+            # Remote read from the first replica.
+            location, disk_index = block.replicas[0]
+        return ResolvedInput(partition=payload, stored_bytes=block.nbytes,
+                             fmt=spec.fmt, machine_id=location,
+                             disk_index=disk_index)
+
+    # -- output registration helpers (used by subclasses) -------------------------------
+
+    def register_shuffle_output(self, work: TaskWork, machine: Machine,
+                                disk_index: Optional[int]) -> None:
+        """Publish a map task's shuffle buckets to the registry."""
+        output = work.descriptor.output
+        if not isinstance(output, ShuffleOutput):
+            raise ExecutionError("task has no shuffle output")
+        self.map_outputs.register_map_output(
+            output.shuffle_id, work.descriptor.index, machine.machine_id,
+            disk_index, work.shuffle_buckets or {})
+
+    def register_dfs_output(self, work: TaskWork, machine: Machine,
+                            disk_index: int) -> None:
+        """Append a task's output block to its DFS file."""
+        output = work.descriptor.output
+        if not isinstance(output, DfsOutput):
+            raise ExecutionError("task has no DFS output")
+        self.cluster.dfs.append_output_block(
+            output.file_name, work.output_stored_bytes, machine.machine_id,
+            disk_index,
+            payload=work.output_partition if output.keep_payload else None)
+
+    # -- result assembly -----------------------------------------------------------------
+
+    def _assemble_result(self, plan: JobPlan, start: float) -> JobResult:
+        result = JobResult(plan.job_id, plan.name, start, self.env.now)
+        final = plan.final_stage
+        sample = final.tasks[0].output if final.tasks else None
+        if isinstance(sample, CollectOutput):
+            outputs = [
+                self._task_outputs.pop(
+                    (plan.job_id, final.stage_id, task.index))
+                for task in final.tasks
+            ]
+            if sample.count_only:
+                result.count = float(sum(outputs))
+            else:
+                result.collected = outputs
+        return result

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A structural problem in the discrete-event simulation."""
+
+
+class EmptySchedule(SimulationError):
+    """``Environment.step`` was called with no scheduled events."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used by ``Environment.run(until=event)``.
+
+    Not a :class:`ReproError`: it never escapes ``Environment.run``.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ConfigError(ReproError):
+    """Invalid hardware spec, cost model, or engine configuration."""
+
+
+class PlanError(ReproError):
+    """A logical plan could not be compiled into stages and tasks."""
+
+
+class ExecutionError(ReproError):
+    """A task failed while executing on the simulated cluster."""
+
+
+class OutOfMemoryError(ExecutionError):
+    """A worker exceeded its configured memory capacity."""
+
+
+class ShuffleError(ExecutionError):
+    """Shuffle data was requested that was never registered."""
+
+
+class ModelError(ReproError):
+    """The performance model was given inconsistent measurements."""

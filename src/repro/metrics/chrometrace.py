@@ -1,0 +1,93 @@
+"""Export monotask self-reports as a Chrome trace.
+
+Writes the Trace Event Format JSON consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: one process per machine, one track per resource
+unit, one complete event per monotask (Spark-engine runs export their
+per-task windows instead, which is all that engine can know).
+
+This is the "open-source release" face of performance clarity: the
+records the framework already holds are a full execution trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.events import CPU, DISK, NETWORK
+
+__all__ = ["trace_events", "write_chrome_trace"]
+
+#: Sort keys so tracks render CPU, then disks, then network.
+_TRACK_ORDER = {CPU: 0, DISK: 1, NETWORK: 2}
+
+
+def _track_name(record) -> str:
+    if record.resource == DISK:
+        return f"disk{record.disk_index}"
+    return record.resource
+
+
+def trace_events(metrics: MetricsCollector,
+                 job_id: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Build the Chrome trace event list.
+
+    ``job_id=None`` exports every job in the collector.  Timestamps are
+    microseconds, as the format requires.
+    """
+    events: List[Dict[str, Any]] = []
+    machines = set()
+
+    def add(machine_id, track, name, start, end, args):
+        machines.add(machine_id)
+        events.append({
+            "name": name,
+            "cat": track,
+            "ph": "X",  # complete event
+            "ts": round(start * 1e6, 3),
+            "dur": round((end - start) * 1e6, 3),
+            "pid": machine_id,
+            "tid": track,
+            "args": args,
+        })
+
+    for record in metrics.monotasks:
+        if job_id is not None and record.job_id != job_id:
+            continue
+        add(record.machine_id, _track_name(record),
+            f"{record.phase} j{record.job_id}s{record.stage_id}"
+            f"t{record.task_index}",
+            record.start, record.end,
+            {"bytes": record.nbytes, "queue_s": record.queue_s,
+             "deserialize_s": record.deserialize_s, "op_s": record.op_s,
+             "serialize_s": record.serialize_s})
+    for task in metrics.tasks:
+        if job_id is not None and task.job_id != job_id:
+            continue
+        if task.end != task.end:  # NaN: still running when collected
+            continue
+        add(task.machine_id, "tasks",
+            f"task j{task.job_id}s{task.stage_id}t{task.task_index}",
+            task.start, task.end, {})
+    if not events:
+        raise ModelError(f"nothing to trace for job {job_id}")
+
+    # Per-process metadata so the viewer labels machines nicely.
+    for machine_id in sorted(machines):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": machine_id,
+            "args": {"name": f"machine {machine_id}"},
+        })
+    return events
+
+
+def write_chrome_trace(metrics: MetricsCollector, path: str,
+                       job_id: Optional[int] = None) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    events = trace_events(metrics, job_id=job_id)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, handle)
+    return len(events)

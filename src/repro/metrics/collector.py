@@ -1,0 +1,115 @@
+"""Collects the structured records emitted during simulation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.events import (CPU, DISK, NETWORK, JobRecord,
+                                  MonotaskRecord, ResourceUsageRecord,
+                                  StageRecord, TaskRecord)
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates monotask/task/stage/job records for one engine run."""
+
+    def __init__(self) -> None:
+        self.monotasks: List[MonotaskRecord] = []
+        self.resource_usage: List[ResourceUsageRecord] = []
+        self.tasks: List[TaskRecord] = []
+        self.stages: Dict[Tuple[int, int], StageRecord] = {}
+        self.jobs: Dict[int, JobRecord] = {}
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_monotask(self, record: MonotaskRecord) -> None:
+        """Append a monotask self-report."""
+        self.monotasks.append(record)
+
+    def record_resource_usage(self, record: ResourceUsageRecord) -> None:
+        """Append a Spark-engine per-task ground-truth record."""
+        self.resource_usage.append(record)
+
+    def task_started(self, job_id: int, stage_id: int, task_index: int,
+                     machine_id: int, now: float) -> TaskRecord:
+        """Open a task record; the caller fills in ``end`` later."""
+        record = TaskRecord(job_id, stage_id, task_index, machine_id,
+                            start=now)
+        self.tasks.append(record)
+        return record
+
+    def stage_started(self, job_id: int, stage_id: int, name: str,
+                      num_tasks: int, now: float) -> None:
+        """Open a stage record."""
+        self.stages[(job_id, stage_id)] = StageRecord(
+            job_id, stage_id, name, num_tasks, start=now)
+
+    def stage_finished(self, job_id: int, stage_id: int, now: float) -> None:
+        """Close a stage record."""
+        self.stages[(job_id, stage_id)].end = now
+
+    def job_started(self, job_id: int, name: str, now: float) -> None:
+        """Open a job record."""
+        self.jobs[job_id] = JobRecord(job_id, name, start=now)
+
+    def job_finished(self, job_id: int, now: float) -> None:
+        """Close a job record."""
+        self.jobs[job_id].end = now
+
+    # -- queries ------------------------------------------------------------------
+
+    def job(self, job_id: int) -> JobRecord:
+        """The job's record."""
+        return self.jobs[job_id]
+
+    def job_duration(self, job_id: int) -> float:
+        """Wall-clock seconds of one job."""
+        return self.jobs[job_id].duration
+
+    def stage_records(self, job_id: int) -> List[StageRecord]:
+        """Stage records of a job, ordered by stage id."""
+        return [record for (job, _), record in sorted(self.stages.items())
+                if job == job_id]
+
+    def stage_monotasks(self, job_id: int,
+                        stage_id: Optional[int] = None
+                        ) -> List[MonotaskRecord]:
+        """Monotask reports of a job (optionally one stage)."""
+        return [m for m in self.monotasks
+                if m.job_id == job_id
+                and (stage_id is None or m.stage_id == stage_id)]
+
+    def stage_window(self, job_id: int, stage_id: int) -> Tuple[float, float]:
+        """A stage's (start, end) wall-clock window."""
+        record = self.stages[(job_id, stage_id)]
+        return record.start, record.end
+
+    def total_compute_seconds(self, job_id: int,
+                              stage_id: Optional[int] = None) -> float:
+        """Total compute-monotask seconds."""
+        return sum(m.duration for m in self.stage_monotasks(job_id, stage_id)
+                   if m.resource == CPU)
+
+    def total_disk_bytes(self, job_id: int,
+                         stage_id: Optional[int] = None) -> float:
+        """Total disk-monotask bytes."""
+        return sum(m.nbytes for m in self.stage_monotasks(job_id, stage_id)
+                   if m.resource == DISK)
+
+    def total_network_bytes(self, job_id: int,
+                            stage_id: Optional[int] = None) -> float:
+        """Total network-monotask bytes."""
+        return sum(m.nbytes for m in self.stage_monotasks(job_id, stage_id)
+                   if m.resource == NETWORK)
+
+    def tasks_for_stage(self, job_id: int, stage_id: int) -> List[TaskRecord]:
+        """Task records of one stage."""
+        return [t for t in self.tasks
+                if t.job_id == job_id and t.stage_id == stage_id]
+
+    def usage_for_stage(self, job_id: int,
+                        stage_id: int) -> List[ResourceUsageRecord]:
+        """Spark ground-truth usage records of one stage."""
+        return [u for u in self.resource_usage
+                if u.job_id == job_id and u.stage_id == stage_id]

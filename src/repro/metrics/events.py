@@ -1,0 +1,146 @@
+"""Structured records of what happened during a simulated job.
+
+MonoSpark's performance clarity comes from the fact that "each monotask
+reports how long it took to complete" (§6.1) -- the instrumentation *is*
+the execution model.  A :class:`MonotaskRecord` is that report.  The
+Spark-style engine cannot produce monotask records (that is the point of
+§6.6), but the simulator itself knows the ground truth of every resource
+it served, so the Spark engine emits :class:`ResourceUsageRecord` ground
+truth that the Fig 15-17 experiments use to *approximate* what a user
+could measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "MonotaskRecord",
+    "ResourceUsageRecord",
+    "TaskRecord",
+    "StageRecord",
+    "JobRecord",
+    "CPU",
+    "DISK",
+    "NETWORK",
+    "PHASE_INPUT_READ",
+    "PHASE_SHUFFLE_READ",
+    "PHASE_SHUFFLE_WRITE",
+    "PHASE_OUTPUT_WRITE",
+    "PHASE_SHUFFLE_SERVE",
+    "PHASE_COMPUTE",
+    "PHASE_SETUP",
+    "PHASE_CLEANUP",
+]
+
+CPU = "cpu"
+DISK = "disk"
+NETWORK = "network"
+
+PHASE_INPUT_READ = "input_read"
+PHASE_SHUFFLE_READ = "shuffle_read"
+PHASE_SHUFFLE_WRITE = "shuffle_write"
+PHASE_OUTPUT_WRITE = "output_write"
+PHASE_SHUFFLE_SERVE = "shuffle_serve"
+PHASE_COMPUTE = "compute"
+PHASE_SETUP = "setup"
+PHASE_CLEANUP = "cleanup"
+
+
+@dataclass
+class MonotaskRecord:
+    """One monotask's self-report: what resource, how long, how much."""
+
+    job_id: int
+    stage_id: int
+    task_index: int
+    resource: str  # CPU | DISK | NETWORK
+    phase: str
+    machine_id: int
+    start: float
+    end: float
+    nbytes: float = 0.0
+    #: Disk index for disk monotasks (None otherwise).
+    disk_index: Optional[int] = None
+    #: Compute monotasks split their time so the model can subtract
+    #: (de)serialization for the in-memory what-ifs (§6.3).
+    deserialize_s: float = 0.0
+    op_s: float = 0.0
+    serialize_s: float = 0.0
+    #: Time between submission to the resource scheduler and start of
+    #: service: the "visible contention" queue time (§3.1).
+    queue_s: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Service time: end minus start."""
+        return self.end - self.start
+
+    @property
+    def is_input_read(self) -> bool:
+        """True for monotasks that read DFS input."""
+        return self.phase == PHASE_INPUT_READ
+
+
+@dataclass
+class ResourceUsageRecord:
+    """Ground-truth resource consumption of one Spark-engine task.
+
+    The simulator can attribute this perfectly; a real Spark user cannot
+    (tasks share the JVM and the OS interleaves their I/O, §6.6).
+    """
+
+    job_id: int
+    stage_id: int
+    task_index: int
+    machine_id: int
+    cpu_s: float = 0.0
+    disk_bytes_read: float = 0.0
+    disk_bytes_written: float = 0.0
+    network_bytes: float = 0.0
+    deserialize_s: float = 0.0
+    serialize_s: float = 0.0
+
+
+@dataclass
+class TaskRecord:
+    job_id: int
+    stage_id: int
+    task_index: int
+    machine_id: int
+    start: float
+    end: float = float("nan")
+
+    @property
+    def duration(self) -> float:
+        """Task wall-clock seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class StageRecord:
+    job_id: int
+    stage_id: int
+    name: str
+    num_tasks: int
+    start: float
+    end: float = float("nan")
+
+    @property
+    def duration(self) -> float:
+        """Stage wall-clock seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class JobRecord:
+    job_id: int
+    name: str
+    start: float
+    end: float = float("nan")
+
+    @property
+    def duration(self) -> float:
+        """Job wall-clock seconds."""
+        return self.end - self.start

@@ -1,0 +1,96 @@
+"""ASCII timelines of monotask execution.
+
+Performance clarity, visualized: because every monotask self-reports its
+resource, machine, and time window, a job's execution can be rendered as
+a per-resource Gantt chart with no extra instrumentation.  Useful for
+eyeballing pipelining (are disk reads overlapping compute?), convoys,
+and ramp-up effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.events import CPU, DISK, NETWORK, MonotaskRecord
+
+__all__ = ["render_timeline"]
+
+#: Glyph per phase; unknown phases fall back to '#'.
+PHASE_GLYPHS = {
+    "input_read": "r",
+    "shuffle_read": "s",
+    "shuffle_serve": "v",
+    "shuffle_write": "w",
+    "output_write": "o",
+    "compute": "C",
+    "setup": ".",
+    "cleanup": ".",
+}
+
+
+def _lane_key(record: MonotaskRecord) -> str:
+    if record.resource == DISK:
+        return f"disk{record.disk_index}"
+    if record.resource == CPU:
+        return "cpu"
+    return "network"
+
+
+def render_timeline(metrics: MetricsCollector, job_id: int,
+                    machine_id: int = 0, width: int = 80,
+                    stage_id: Optional[int] = None) -> str:
+    """Render one machine's monotask activity as text.
+
+    Each resource gets a lane; within a lane, each column covers
+    ``duration / width`` seconds and shows the phase glyph of whatever
+    ran then (capital ``C`` compute, ``r`` input read, ``w`` shuffle
+    write, ``o`` output write, ``s``/``v`` shuffle read/serve).  Density
+    is approximate: a cell shows the phase with the most busy time.
+    """
+    if width < 10:
+        raise ModelError("timeline width must be >= 10")
+    records = [r for r in metrics.stage_monotasks(job_id, stage_id)
+               if r.machine_id == machine_id]
+    if not records:
+        raise ModelError(
+            f"no monotask records for job {job_id} on machine "
+            f"{machine_id}; was the job run on MonoSpark?")
+    start = min(r.start for r in records)
+    end = max(r.end for r in records)
+    span = max(end - start, 1e-9)
+    step = span / width
+
+    lanes: Dict[str, List[Dict[str, float]]] = {}
+    for record in records:
+        lane = lanes.setdefault(_lane_key(record),
+                                [dict() for _ in range(width)])
+        glyph = PHASE_GLYPHS.get(record.phase, "#")
+        first = int((record.start - start) / step)
+        last = int(min((record.end - start) / step, width - 1))
+        for column in range(first, last + 1):
+            cell_start = start + column * step
+            cell_end = cell_start + step
+            overlap = min(record.end, cell_end) - max(record.start,
+                                                      cell_start)
+            if overlap > 0:
+                cell = lane[column]
+                cell[glyph] = cell.get(glyph, 0.0) + overlap
+
+    lines = [f"machine {machine_id}, job {job_id}: "
+             f"{start:.2f}s .. {end:.2f}s ({span:.2f}s, "
+             f"{step:.3f}s/column)"]
+    for lane_name in sorted(lanes):
+        cells = []
+        for cell in lanes[lane_name]:
+            if not cell:
+                cells.append(" ")
+            else:
+                cells.append(max(cell, key=cell.get))
+        lines.append(f"{lane_name:>8s} |{''.join(cells)}|")
+    legend = ", ".join(f"{glyph}={phase}"
+                       for phase, glyph in PHASE_GLYPHS.items()
+                       if glyph != ".")
+    lines.append(f"          {legend}")
+    return "\n".join(lines)

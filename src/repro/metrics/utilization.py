@@ -1,0 +1,111 @@
+"""Utilization time series and summaries from busy-interval trackers.
+
+Figures 2, 6, and 9 of the paper are resource-utilization plots.  The
+hardware models record ``(time, busy units)`` change points; this module
+turns them into sampled time series (Figs 2/9) and per-window summaries
+with percentiles (Fig 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import Machine
+from repro.simulator.resources import BusyTracker
+
+__all__ = [
+    "sample_utilization",
+    "machine_utilization",
+    "percentile",
+    "UtilizationSummary",
+    "summarize_machine",
+]
+
+
+def sample_utilization(tracker: BusyTracker, start: float, end: float,
+                       step: float) -> List[Tuple[float, float]]:
+    """Mean utilization over each ``step``-wide window of ``[start, end]``."""
+    if step <= 0:
+        raise ValueError(f"step must be positive: {step}")
+    samples = []
+    t = start
+    while t < end:
+        hi = min(t + step, end)
+        samples.append((t, tracker.utilization(t, hi)))
+        t += step
+    return samples
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class UtilizationSummary:
+    """Per-resource mean utilization of one machine over a window."""
+
+    def __init__(self, cpu: float, disks: List[float], net_rx: float,
+                 net_tx: float) -> None:
+        self.cpu = cpu
+        self.disks = disks
+        self.net_rx = net_rx
+        self.net_tx = net_tx
+
+    def as_dict(self) -> Dict[str, float]:
+        """All per-resource utilizations, keyed by resource name."""
+        values = {"cpu": self.cpu, "net_rx": self.net_rx,
+                  "net_tx": self.net_tx}
+        for index, disk in enumerate(self.disks):
+            values[f"disk{index}"] = disk
+        return values
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """Resources ordered from most to least utilized.
+
+        Matches the paper's Figure 6, which reports "the most utilized
+        (i.e., bottleneck) resource, and the second most utilized".
+        Disk and network are each summarized by their busiest unit.
+        """
+        disk = max(self.disks) if self.disks else 0.0
+        net = max(self.net_rx, self.net_tx)
+        entries = [("cpu", self.cpu), ("disk", disk), ("network", net)]
+        return sorted(entries, key=lambda item: item[1], reverse=True)
+
+
+def machine_utilization(machine: Machine, start: float,
+                        end: float) -> UtilizationSummary:
+    """Mean utilization of each of a machine's resources over a window."""
+    network = machine.network
+    return UtilizationSummary(
+        cpu=machine.cpu.tracker.utilization(start, end),
+        disks=[disk.tracker.utilization(start, end)
+               for disk in machine.disks],
+        net_rx=network.rx_trackers[machine.machine_id].utilization(start, end),
+        net_tx=network.tx_trackers[machine.machine_id].utilization(start, end),
+    )
+
+
+def summarize_machine(machine: Machine, start: float, end: float,
+                      step: float) -> Dict[str, List[Tuple[float, float]]]:
+    """Sampled utilization time series for every resource of a machine."""
+    network = machine.network
+    series = {
+        "cpu": sample_utilization(machine.cpu.tracker, start, end, step),
+        "net_rx": sample_utilization(
+            network.rx_trackers[machine.machine_id], start, end, step),
+        "net_tx": sample_utilization(
+            network.tx_trackers[machine.machine_id], start, end, step),
+    }
+    for index, disk in enumerate(machine.disks):
+        series[f"disk{index}"] = sample_utilization(
+            disk.tracker, start, end, step)
+    return series

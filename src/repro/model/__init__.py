@@ -1,0 +1,37 @@
+"""Performance models (§6): ideal times, what-ifs, bottlenecks, Spark models."""
+
+from repro.model.bottleneck import BottleneckReport, analyze_bottlenecks
+from repro.model.diagnosis import (DiagnosisReport, MachineHealth,
+                                   diagnose_stragglers)
+from repro.model.ideal import (HardwareProfile, StageModel, StageProfile,
+                               hardware_profile, model_job_seconds,
+                               model_stage, profile_job)
+from repro.model.predictor import Prediction, WhatIf, predict
+from repro.model.sparkmodel import (AttributionEstimate, attribution_errors,
+                                    slot_model_prediction,
+                                    slot_share_stage_usage,
+                                    spark_stage_profiles, true_stage_usage)
+
+__all__ = [
+    "HardwareProfile",
+    "StageModel",
+    "StageProfile",
+    "hardware_profile",
+    "model_job_seconds",
+    "model_stage",
+    "profile_job",
+    "Prediction",
+    "WhatIf",
+    "predict",
+    "BottleneckReport",
+    "analyze_bottlenecks",
+    "DiagnosisReport",
+    "MachineHealth",
+    "diagnose_stragglers",
+    "AttributionEstimate",
+    "attribution_errors",
+    "slot_model_prediction",
+    "slot_share_stage_usage",
+    "spark_stage_profiles",
+    "true_stage_usage",
+]

@@ -1,0 +1,71 @@
+"""Bottleneck analysis (§6.5, Figure 14).
+
+Ousterhout et al.'s NSDI'15 study added extensive blocked-time
+instrumentation to Spark to answer "how much faster would the job run if
+it never blocked on disk/network?".  With monotasks "the necessary
+instrumentation is built into the framework's execution model": the
+best-case completion time with an infinitely fast resource is the model
+of §6.1 with that resource excluded from the per-stage maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ModelError
+from repro.metrics.events import CPU, DISK, NETWORK
+from repro.model.ideal import (HardwareProfile, StageProfile, model_stage)
+
+__all__ = ["BottleneckReport", "analyze_bottlenecks"]
+
+
+@dataclass
+class BottleneckReport:
+    """Per-job answers to "what if resource X were infinitely fast?"."""
+
+    measured_s: float
+    modeled_s: float
+    #: resource -> modeled job seconds with that resource free.
+    modeled_without: Dict[str, float]
+    #: stage_id -> bottleneck resource.
+    stage_bottlenecks: Dict[int, str]
+
+    def speedup_fraction(self, resource: str) -> float:
+        """Fraction of (modeled) runtime removed by optimizing away
+        ``resource``: the paper's "best-case improvement"."""
+        if self.modeled_s <= 0:
+            raise ModelError("modeled time is zero")
+        return 1.0 - self.modeled_without[resource] / self.modeled_s
+
+    def predicted_runtime_without(self, resource: str) -> float:
+        """Measured runtime scaled to the infinitely-fast-X scenario."""
+        if self.modeled_s <= 0:
+            raise ModelError("modeled time is zero")
+        return self.measured_s * (self.modeled_without[resource]
+                                  / self.modeled_s)
+
+    @property
+    def job_bottleneck(self) -> str:
+        """The resource whose removal helps most."""
+        return min(self.modeled_without, key=self.modeled_without.get)
+
+
+def analyze_bottlenecks(profiles: List[StageProfile], measured_s: float,
+                        hardware: HardwareProfile) -> BottleneckReport:
+    """Build the Fig 14-style report for one job."""
+    if not profiles:
+        raise ModelError("no stage profiles supplied")
+    models = {profile.stage_id: model_stage(profile, hardware)
+              for profile in profiles}
+    modeled_s = sum(m.ideal_completion_s for m in models.values())
+    modeled_without = {
+        resource: sum(m.without(resource) for m in models.values())
+        for resource in (CPU, DISK, NETWORK)
+    }
+    return BottleneckReport(
+        measured_s=measured_s,
+        modeled_s=modeled_s,
+        modeled_without=modeled_without,
+        stage_bottlenecks={stage_id: model.bottleneck
+                           for stage_id, model in models.items()})

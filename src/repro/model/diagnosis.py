@@ -1,0 +1,130 @@
+"""Why did my workload run slowly? -- straggler/degradation diagnosis.
+
+The paper's introduction motivates performance clarity with questions
+like "Is hardware degradation leading to poor performance?  Is
+performance affected by contention from other users?".  Monotask
+self-reports answer them directly: every disk monotask reports bytes and
+duration, so each machine's *effective* disk rate is observable; every
+compute monotask reports its priced CPU seconds and its wall time, so a
+slow core shows up as wall time exceeding priced time.
+
+No extra instrumentation is required -- exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.events import CPU, DISK
+from repro.metrics.utilization import percentile
+
+__all__ = ["MachineHealth", "DiagnosisReport", "diagnose_stragglers"]
+
+#: Ignore tiny monotasks when estimating rates (latency-dominated).
+MIN_DISK_BYTES = 1 * 1024 * 1024
+MIN_COMPUTE_SECONDS = 0.05
+
+
+@dataclass
+class MachineHealth:
+    """Observed hardware rates of one machine, from monotask reports."""
+
+    machine_id: int
+    #: Effective bytes/s over this machine's disk monotasks.
+    disk_bps: Optional[float] = None
+    #: Wall seconds per priced CPU second (1.0 = nominal; 2.0 = half
+    #: speed).
+    cpu_slowdown: Optional[float] = None
+    disk_monotasks: int = 0
+    compute_monotasks: int = 0
+
+
+@dataclass
+class DiagnosisReport:
+    """Cluster-wide health summary plus flagged stragglers."""
+
+    machines: Dict[int, MachineHealth]
+    median_disk_bps: Optional[float]
+    median_cpu_slowdown: Optional[float]
+    #: Machines whose disk rate fell below the threshold of the median.
+    slow_disks: List[int] = field(default_factory=list)
+    #: Machines whose CPU slowdown exceeds the threshold over the median.
+    slow_cpus: List[int] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when no machine was flagged."""
+        return not self.slow_disks and not self.slow_cpus
+
+
+def _machine_health(metrics: MetricsCollector, job_id: int,
+                    machine_id: int) -> MachineHealth:
+    health = MachineHealth(machine_id=machine_id)
+    disk_bytes = 0.0
+    disk_seconds = 0.0
+    priced = 0.0
+    walled = 0.0
+    for record in metrics.stage_monotasks(job_id):
+        if record.machine_id != machine_id:
+            continue
+        if record.resource == DISK and record.nbytes >= MIN_DISK_BYTES:
+            disk_bytes += record.nbytes
+            disk_seconds += record.duration
+            health.disk_monotasks += 1
+        elif record.resource == CPU:
+            priced_seconds = (record.deserialize_s + record.op_s
+                              + record.serialize_s)
+            if priced_seconds >= MIN_COMPUTE_SECONDS:
+                priced += priced_seconds
+                walled += record.duration
+                health.compute_monotasks += 1
+    if disk_seconds > 0:
+        health.disk_bps = disk_bytes / disk_seconds
+    if priced > 0:
+        health.cpu_slowdown = walled / priced
+    return health
+
+
+def diagnose_stragglers(metrics: MetricsCollector, job_id: int,
+                        disk_threshold: float = 0.7,
+                        cpu_threshold: float = 1.4) -> DiagnosisReport:
+    """Flag machines whose observed rates deviate from the cluster.
+
+    ``disk_threshold``: a machine is a slow-disk straggler when its
+    effective disk rate is below ``threshold * median``.
+    ``cpu_threshold``: a slow-CPU straggler when its wall/priced compute
+    ratio exceeds ``threshold * median``.
+    """
+    if not 0 < disk_threshold <= 1.0:
+        raise ModelError("disk threshold must be in (0, 1]")
+    if cpu_threshold < 1.0:
+        raise ModelError("cpu threshold must be >= 1")
+    machine_ids = sorted({record.machine_id
+                          for record in metrics.stage_monotasks(job_id)})
+    if not machine_ids:
+        raise ModelError(f"no monotask records for job {job_id}; "
+                         "diagnosis requires a MonoSpark run")
+    machines = {machine_id: _machine_health(metrics, job_id, machine_id)
+                for machine_id in machine_ids}
+
+    disk_rates = [h.disk_bps for h in machines.values()
+                  if h.disk_bps is not None]
+    cpu_rates = [h.cpu_slowdown for h in machines.values()
+                 if h.cpu_slowdown is not None]
+    median_disk = percentile(disk_rates, 50) if disk_rates else None
+    median_cpu = percentile(cpu_rates, 50) if cpu_rates else None
+
+    report = DiagnosisReport(machines=machines,
+                             median_disk_bps=median_disk,
+                             median_cpu_slowdown=median_cpu)
+    for machine_id, health in machines.items():
+        if (median_disk and health.disk_bps is not None
+                and health.disk_bps < disk_threshold * median_disk):
+            report.slow_disks.append(machine_id)
+        if (median_cpu and health.cpu_slowdown is not None
+                and health.cpu_slowdown > cpu_threshold * median_cpu):
+            report.slow_cpus.append(machine_id)
+    return report

@@ -1,0 +1,112 @@
+"""What-if prediction (§6.2-§6.4).
+
+A :class:`WhatIf` describes a hypothetical hardware and/or software
+configuration; :func:`predict` evaluates the monotasks model under the
+current and hypothetical configurations and scales the *measured*
+runtime by the modeled ratio -- exactly the paper's procedure ("we scale
+the job's original completion time by the predicted change in job
+completion time based on the model", §6.2), which corrects for effects
+the simple model ignores (imperfect parallelism, ramp-up periods).
+
+Software what-ifs follow §6.3: storing input in-memory and deserialized
+removes the input-read disk bytes and the input deserialization CPU
+time, which is only measurable because compute monotasks report their
+deserialization phase separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.errors import ModelError
+from repro.metrics.events import PHASE_INPUT_READ
+from repro.model.ideal import (HardwareProfile, StageModel, StageProfile,
+                               model_stage)
+
+__all__ = ["WhatIf", "Prediction", "predict"]
+
+
+@dataclass(frozen=True)
+class WhatIf:
+    """A hypothetical configuration, relative to the measured one."""
+
+    #: Replacement hardware (None = unchanged).
+    hardware: Optional[HardwareProfile] = None
+    #: Input stored in memory, already deserialized (§6.3).
+    input_in_memory_deserialized: bool = False
+    #: Scale factor on every stage's network bytes (e.g. reduced input
+    #: locality after moving to a larger cluster sends more data remote).
+    network_bytes_scale: float = 1.0
+
+    def describe(self) -> str:
+        """Human-readable summary of the hypothetical changes."""
+        parts = []
+        if self.hardware is not None:
+            hw = self.hardware
+            parts.append(f"{hw.num_machines} machines x "
+                         f"{hw.disks_per_machine} disks @ "
+                         f"{hw.disk_throughput_bps / 2**20:.0f} MB/s")
+        if self.input_in_memory_deserialized:
+            parts.append("input in-memory deserialized")
+        if self.network_bytes_scale != 1.0:
+            parts.append(f"network bytes x{self.network_bytes_scale:.2f}")
+        return ", ".join(parts) or "unchanged"
+
+
+@dataclass
+class Prediction:
+    """The model's answer to a what-if question."""
+
+    measured_s: float
+    modeled_old_s: float
+    modeled_new_s: float
+    stage_models_old: List[StageModel]
+    stage_models_new: List[StageModel]
+
+    @property
+    def predicted_s(self) -> float:
+        """Measured runtime scaled by the modeled change."""
+        if self.modeled_old_s <= 0:
+            raise ModelError("modeled baseline time is zero")
+        return self.measured_s * (self.modeled_new_s / self.modeled_old_s)
+
+    def error_vs(self, actual_s: float) -> float:
+        """Relative prediction error against an actual runtime."""
+        if actual_s <= 0:
+            raise ModelError("actual runtime must be positive")
+        return abs(self.predicted_s - actual_s) / actual_s
+
+
+def _apply_software_changes(profile: StageProfile,
+                            what_if: WhatIf) -> StageProfile:
+    """A copy of ``profile`` with the software what-ifs applied."""
+    disk_bytes = dict(profile.disk_bytes)
+    compute_s = profile.compute_s
+    if what_if.input_in_memory_deserialized and profile.reads_dfs_input:
+        disk_bytes.pop(PHASE_INPUT_READ, None)
+        compute_s -= profile.input_deserialize_s
+    return replace(profile, compute_s=compute_s, disk_bytes=disk_bytes,
+                   network_bytes=(profile.network_bytes
+                                  * what_if.network_bytes_scale))
+
+
+def predict(profiles: List[StageProfile], measured_s: float,
+            current_hardware: HardwareProfile,
+            what_if: WhatIf) -> Prediction:
+    """Answer a what-if question for a job measured on MonoSpark."""
+    if not profiles:
+        raise ModelError("no stage profiles supplied")
+    new_hardware = what_if.hardware or current_hardware
+    old_models = [model_stage(profile, current_hardware)
+                  for profile in profiles]
+    new_profiles = [_apply_software_changes(profile, what_if)
+                    for profile in profiles]
+    new_models = [model_stage(profile, new_hardware)
+                  for profile in new_profiles]
+    return Prediction(
+        measured_s=measured_s,
+        modeled_old_s=sum(m.ideal_completion_s for m in old_models),
+        modeled_new_s=sum(m.ideal_completion_s for m in new_models),
+        stage_models_old=old_models,
+        stage_models_new=new_models)

@@ -1,0 +1,26 @@
+"""MonoSpark: single-resource monotasks with per-resource schedulers."""
+
+from repro.monospark.assignment import multitask_concurrency
+from repro.monospark.decompose import Decomposition, decompose
+from repro.monospark.engine import MonoSparkEngine
+from repro.monospark.localdag import LocalDagScheduler
+from repro.monospark.monotask import (ComputeMonotask, DiskMonotask,
+                                      FetchSource, Monotask,
+                                      NetworkFetchMonotask)
+from repro.monospark.schedulers import ResourceScheduler
+from repro.monospark.worker import MonoWorker
+
+__all__ = [
+    "MonoSparkEngine",
+    "MonoWorker",
+    "ResourceScheduler",
+    "LocalDagScheduler",
+    "decompose",
+    "Decomposition",
+    "multitask_concurrency",
+    "Monotask",
+    "ComputeMonotask",
+    "DiskMonotask",
+    "NetworkFetchMonotask",
+    "FetchSource",
+]

@@ -1,0 +1,29 @@
+"""How many multitasks to assign concurrently to each machine (§3.4).
+
+MonoSpark assigns "enough multitasks that all resources can have the
+maximum allowed number of concurrent monotasks running, plus one
+additional monotask": with 4 cores, 1 HDD, and a receiver limit of 4
+multitasks, that is 4 + 1 + 4 + 1 = 10 -- the exact example in §3.4.
+The per-resource schedulers make over-assignment safe (queued monotasks
+just wait), so unlike Spark's slot count this value never needs tuning
+by the user (§7).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.config import DiskSpec
+
+__all__ = ["multitask_concurrency"]
+
+
+def multitask_concurrency(machine: Machine, network_limit: int,
+                          disk_concurrency, extra: int = 1) -> int:
+    """The §3.4 assignment rule.
+
+    ``disk_concurrency`` maps a :class:`DiskSpec` to the number of
+    concurrent monotasks its scheduler admits (1 for HDDs, the flash
+    parameter for SSDs).
+    """
+    disk_slots = sum(disk_concurrency(disk.spec) for disk in machine.disks)
+    return machine.spec.cores + disk_slots + network_limit + extra

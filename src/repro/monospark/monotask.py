@@ -1,0 +1,208 @@
+"""Monotask types: units of work that each use exactly one resource.
+
+The four design principles of §3.1 map directly onto this module:
+
+* *Each monotask uses one resource* -- there is one class per resource,
+  and ``execute`` touches only that resource.
+* *Monotasks execute in isolation* -- by the time a monotask is
+  dispatched, all its inputs are in memory; ``execute`` never blocks on
+  another monotask.
+* *Per-resource schedulers control contention* -- monotasks do not run
+  themselves; a :class:`~repro.monospark.schedulers.ResourceScheduler`
+  dispatches them (and its queue length makes contention visible).
+* *Complete control over the resource* -- disk monotasks talk to the
+  :class:`~repro.simulator.disk.Disk` directly, bypassing the OS buffer
+  cache: writes are write-through by construction (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+
+from repro.metrics.events import (CPU, DISK, NETWORK, MonotaskRecord,
+                                  PHASE_SHUFFLE_SERVE)
+from repro.simulator import Environment, Event
+from repro.simulator.network import FLOW_LATENCY_S
+
+if TYPE_CHECKING:
+    from repro.monospark.worker import MonoWorker
+
+__all__ = ["Monotask", "ComputeMonotask", "DiskMonotask",
+           "NetworkFetchMonotask", "FetchSource"]
+
+
+class Monotask:
+    """Base: dependency tracking plus self-reporting."""
+
+    resource = "abstract"
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int]) -> None:
+        self.worker = worker
+        self.env: Environment = worker.env
+        self.phase = phase
+        self.job_id, self.stage_id, self.task_index = task_id_fields
+        self.deps: List["Monotask"] = []
+        self.done: Event = self.env.event()
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+
+    def after(self, *deps: Optional["Monotask"]) -> "Monotask":
+        """Declare dependencies (None entries are skipped)."""
+        self.deps.extend(dep for dep in deps if dep is not None)
+        return self
+
+    def execute(self) -> Generator:
+        """Use the resource.  Called by the resource scheduler only."""
+        raise NotImplementedError
+
+    # -- reporting -----------------------------------------------------------------
+
+    def base_record(self, resource: str, nbytes: float = 0.0,
+                    **extra) -> MonotaskRecord:
+        """A partially filled record with ids, window, and queue time."""
+        return MonotaskRecord(
+            job_id=self.job_id, stage_id=self.stage_id,
+            task_index=self.task_index, resource=resource, phase=self.phase,
+            machine_id=self.worker.machine.machine_id,
+            start=self.started_at, end=self.env.now, nbytes=nbytes,
+            queue_s=(self.started_at - self.submitted_at
+                     if self.submitted_at is not None else 0.0),
+            **extra)
+
+    def record(self) -> None:
+        """Emit this monotask's :class:`MonotaskRecord`."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.phase}, "
+                f"j{self.job_id}s{self.stage_id}t{self.task_index})")
+
+
+class ComputeMonotask(Monotask):
+    """Holds one core for the full duration of its computation."""
+
+    resource = CPU
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int],
+                 deserialize_s: float = 0.0, op_s: float = 0.0,
+                 serialize_s: float = 0.0) -> None:
+        super().__init__(worker, phase, task_id_fields)
+        self.deserialize_s = deserialize_s
+        self.op_s = op_s
+        self.serialize_s = serialize_s
+
+    @property
+    def seconds(self) -> float:
+        """Total priced compute time of this monotask."""
+        return self.deserialize_s + self.op_s + self.serialize_s
+
+    def execute(self) -> Generator:
+        yield self.worker.machine.cpu.run(self.seconds)
+
+    def record(self) -> None:
+        """Report duration with its deserialize/op/serialize split."""
+        self.worker.engine.metrics.record_monotask(self.base_record(
+            CPU, deserialize_s=self.deserialize_s, op_s=self.op_s,
+            serialize_s=self.serialize_s))
+
+
+class DiskMonotask(Monotask):
+    """Reads or writes one contiguous extent, directly on the device."""
+
+    resource = DISK
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int], disk_index: int,
+                 nbytes: float, kind: str) -> None:
+        super().__init__(worker, phase, task_id_fields)
+        self.disk_index = disk_index
+        self.nbytes = nbytes
+        self.kind = kind  # "read" | "write"
+
+    def execute(self) -> Generator:
+        disk = self.worker.machine.disks[self.disk_index]
+        yield disk.submit(self.nbytes, self.kind,
+                          label=f"mono:{self.phase}")
+
+    def record(self) -> None:
+        """Report the bytes moved and which disk served them."""
+        self.worker.engine.metrics.record_monotask(self.base_record(
+            DISK, nbytes=self.nbytes, disk_index=self.disk_index))
+
+
+class FetchSource:
+    """One remote extent a network monotask must pull."""
+
+    __slots__ = ("machine_id", "disk_index", "nbytes", "label")
+
+    def __init__(self, machine_id: int, disk_index: Optional[int],
+                 nbytes: float, label: str = "") -> None:
+        self.machine_id = machine_id
+        self.disk_index = disk_index  # None: remote data is in memory
+        self.nbytes = nbytes
+        self.label = label
+
+
+class NetworkFetchMonotask(Monotask):
+    """Fetches a multitask's remote data; scheduled at the *receiver*.
+
+    Admission is per multitask (§3.3: outstanding requests are limited
+    "to those coming from four multitasks").  Once admitted, requests to
+    all remote machines are issued concurrently.  Each remote machine
+    serves a request by queueing a disk read monotask on *its own* disk
+    scheduler and then sending the data; the remote read therefore
+    contends -- visibly -- with the remote machine's other disk work.
+    """
+
+    resource = NETWORK
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int],
+                 sources: List[FetchSource]) -> None:
+        super().__init__(worker, phase, task_id_fields)
+        self.sources = sources
+        self.total_bytes = sum(source.nbytes for source in sources)
+
+    def execute(self) -> Generator:
+        if not self.sources:
+            return
+        # One request per remote machine (§3.2): its disk reads run
+        # concurrently on that machine's disk schedulers, then the data
+        # comes back as a single response flow.
+        by_machine: dict = {}
+        for source in self.sources:
+            by_machine.setdefault(source.machine_id, []).append(source)
+        transfers = [self.env.process(self._fetch_machine(machine, group))
+                     for machine, group in sorted(by_machine.items())]
+        yield self.env.all_of(transfers)
+
+    def _fetch_machine(self, machine_id: int,
+                       sources: List[FetchSource]) -> Generator:
+        engine = self.worker.engine
+        local_id = self.worker.machine.machine_id
+        yield self.env.timeout(FLOW_LATENCY_S)  # the request itself
+        reads = []
+        for source in sources:
+            if source.disk_index is None:
+                continue  # remote data already in memory
+            remote_worker = engine.workers[machine_id]
+            read = DiskMonotask(
+                remote_worker, PHASE_SHUFFLE_SERVE,
+                (self.job_id, self.stage_id, self.task_index),
+                disk_index=source.disk_index, nbytes=source.nbytes,
+                kind="read")
+            remote_worker.submit_ready(read)
+            reads.append(read.done)
+        if reads:
+            yield self.env.all_of(reads)
+        total = sum(source.nbytes for source in sources)
+        yield self.worker.machine.network.transfer(
+            machine_id, local_id, total,
+            label=sources[0].label)
+
+    def record(self) -> None:
+        """Report the total bytes this fetch group received."""
+        self.worker.engine.metrics.record_monotask(self.base_record(
+            NETWORK, nbytes=self.total_bytes))

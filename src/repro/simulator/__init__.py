@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate: kernel, RNG, and hardware models."""
+
+from repro.simulator.core import AllOf, AnyOf, Environment, Event, Process, Timeout
+from repro.simulator.cpu import CpuPool
+from repro.simulator.disk import Disk, DiskRequest
+from repro.simulator.buffercache import BufferCache
+from repro.simulator.memory import MemoryPool
+from repro.simulator.network import Flow, Network
+from repro.simulator.resources import BusyTracker, Semaphore, Store
+from repro.simulator.rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "CpuPool",
+    "Disk",
+    "DiskRequest",
+    "BufferCache",
+    "MemoryPool",
+    "Flow",
+    "Network",
+    "BusyTracker",
+    "Semaphore",
+    "Store",
+    "RngStreams",
+]

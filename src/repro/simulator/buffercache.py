@@ -1,0 +1,265 @@
+"""OS buffer-cache model: write-back caching with background flushing.
+
+This captures the §2.2 point that, in today's frameworks, resource use
+happens *outside the control of the framework*: Spark's disk writes land
+in the page cache and the OS flushes them later, contending with reads
+the framework knows nothing about.  MonoSpark bypasses this model
+entirely -- its disk monotasks talk to the :class:`~repro.simulator.disk.
+Disk` directly and write through (§3.1), which is also why Spark wins on
+write-light queries like Big Data Benchmark 1c unless it too is forced
+to write through (§5.3, Figure 5).
+
+Model:
+
+* Writes charge a memcpy into the cache and return once there is space;
+  the data becomes *dirty* and a background flusher writes it to the
+  owning disk once dirty data exceeds ``dirty_background_bytes`` (or
+  writers are blocked on space).
+* Reads hit if the block is resident (clean or dirty) and cost a memcpy;
+  otherwise they go to disk and the block is inserted clean.
+* Clean blocks are evicted LRU under space pressure; dirty blocks pin
+  their space until flushed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Generator, Optional, Tuple
+
+from repro.config import MachineSpec
+from repro.errors import SimulationError
+from repro.simulator.core import Environment, Event
+from repro.simulator.disk import Disk
+
+__all__ = ["BufferCache"]
+
+#: Granularity of background write-back I/O.
+FLUSH_CHUNK_BYTES = 32 * 1024 * 1024
+
+
+class BufferCache:
+    """The page cache of one machine, fronting its disks."""
+
+    def __init__(self, env: Environment, spec: MachineSpec,
+                 disks: list[Disk], name: str = "cache") -> None:
+        self.env = env
+        self.name = name
+        self.capacity = spec.buffer_cache_bytes
+        self.dirty_background = spec.dirty_background_bytes
+        self.memcpy_bps = spec.memcpy_bps
+        self.disks = disks
+        #: block_id -> bytes, in LRU order (oldest first). Clean data only.
+        self._clean: "OrderedDict[str, float]" = OrderedDict()
+        #: block_id -> (disk_index, bytes) awaiting write-back, FIFO.
+        self._dirty: "OrderedDict[str, Tuple[int, float]]" = OrderedDict()
+        self.clean_bytes = 0.0
+        self.dirty_bytes = 0.0
+        self._space_waiters: Deque[Tuple[Event, float]] = deque()
+        self._flusher_wake: Optional[Event] = None
+        self._flusher_running = False
+        self.read_hits = 0
+        self.read_misses = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> float:
+        """Resident bytes, clean plus dirty."""
+        return self.clean_bytes + self.dirty_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Room left in the cache."""
+        return self.capacity - self.used_bytes
+
+    def resident(self, block_id: str) -> bool:
+        """True if the block is in cache (clean or dirty)."""
+        return block_id in self._clean or block_id in self._dirty
+
+    # -- writes ----------------------------------------------------------------
+
+    def write(self, disk_index: int, nbytes: float, block_id: str,
+              write_through: bool = False) -> Event:
+        """Write ``nbytes`` destined for disk ``disk_index``.
+
+        With ``write_through`` the event fires only after the bytes are on
+        the platter (the paper's flushed-Spark configuration, and the
+        semantic MonoSpark enforces for itself at the monotask layer).
+        Otherwise the event fires once the bytes are dirty in cache.
+        """
+        self._check_disk(disk_index)
+        if nbytes < 0:
+            raise SimulationError(f"negative write size: {nbytes}")
+        return self.env.process(
+            self._write(disk_index, nbytes, block_id, write_through))
+
+    def _write(self, disk_index: int, nbytes: float, block_id: str,
+               write_through: bool) -> Generator:
+        yield self.env.timeout(nbytes / self.memcpy_bps)
+        if nbytes > self.capacity:
+            # Larger than the whole cache: cannot be buffered at all.
+            write_through = True
+        if write_through:
+            # Synchronous write-back: pay the disk time now, keep a clean copy.
+            yield self.disks[disk_index].write(nbytes, label=block_id)
+            self._insert_clean(block_id, nbytes)
+            return
+        yield from self._wait_for_space(nbytes)
+        self.dirty_bytes += nbytes
+        if block_id in self._dirty:
+            old_disk, old_bytes = self._dirty.pop(block_id)
+            self.dirty_bytes -= old_bytes
+        self._dirty[block_id] = (disk_index, nbytes)
+        self._maybe_start_flusher()
+
+    def _wait_for_space(self, nbytes: float) -> Generator:
+        while self.free_bytes < nbytes:
+            if not self._evict_clean(nbytes - self.free_bytes):
+                # All remaining residency is dirty: wait for the flusher.
+                waiter = self.env.event()
+                self._space_waiters.append((waiter, nbytes))
+                self._maybe_start_flusher(force=True)
+                yield waiter
+        return
+
+    def _evict_clean(self, want_bytes: float) -> bool:
+        """Drop LRU clean blocks until ``want_bytes`` freed; False if stuck."""
+        freed = 0.0
+        while freed < want_bytes and self._clean:
+            block_id, nbytes = self._clean.popitem(last=False)
+            self.clean_bytes -= nbytes
+            freed += nbytes
+        return freed > 0 or want_bytes <= 0
+
+    # -- reads -----------------------------------------------------------------
+
+    def read(self, disk_index: int, nbytes: float, block_id: str) -> Event:
+        """Read ``nbytes`` of ``block_id``; hits cost a memcpy, misses go
+        to disk (and populate the cache)."""
+        self._check_disk(disk_index)
+        if nbytes < 0:
+            raise SimulationError(f"negative read size: {nbytes}")
+        return self.env.process(self._read(disk_index, nbytes, block_id))
+
+    def read_many(self, disk_index: int,
+                  blocks: "list[Tuple[str, float]]") -> Event:
+        """Read several small blocks as one coalesced disk request.
+
+        Models OS/framework request merging for shuffle-segment reads:
+        resident blocks cost a memcpy; all missing blocks are fetched in
+        a single sequential disk request (one seek), then cached clean.
+        """
+        self._check_disk(disk_index)
+        return self.env.process(self._read_many(disk_index, blocks))
+
+    def _read_many(self, disk_index: int,
+                   blocks: "list[Tuple[str, float]]") -> Generator:
+        hit_bytes = 0.0
+        missing: list = []
+        for block_id, nbytes in blocks:
+            if nbytes < 0:
+                raise SimulationError(f"negative read size: {nbytes}")
+            if block_id in self._clean:
+                self._clean.move_to_end(block_id)
+                self.read_hits += 1
+                hit_bytes += nbytes
+            elif block_id in self._dirty:
+                self.read_hits += 1
+                hit_bytes += nbytes
+            else:
+                self.read_misses += 1
+                missing.append((block_id, nbytes))
+        if hit_bytes > 0:
+            yield self.env.timeout(hit_bytes / self.memcpy_bps)
+        if missing:
+            total = sum(nbytes for _, nbytes in missing)
+            yield self.disks[disk_index].read(total, label=missing[0][0])
+            for block_id, nbytes in missing:
+                self._insert_clean(block_id, nbytes)
+
+    def _read(self, disk_index: int, nbytes: float, block_id: str) -> Generator:
+        if block_id in self._clean:
+            self._clean.move_to_end(block_id)
+            self.read_hits += 1
+            yield self.env.timeout(nbytes / self.memcpy_bps)
+            return
+        if block_id in self._dirty:
+            self.read_hits += 1
+            yield self.env.timeout(nbytes / self.memcpy_bps)
+            return
+        self.read_misses += 1
+        yield self.disks[disk_index].read(nbytes, label=block_id)
+        self._insert_clean(block_id, nbytes)
+
+    def _insert_clean(self, block_id: str, nbytes: float) -> None:
+        if block_id in self._dirty:
+            return  # Dirty copy is authoritative.
+        if block_id in self._clean:
+            self.clean_bytes -= self._clean.pop(block_id)
+        overflow = nbytes - self.free_bytes
+        if overflow > 0:
+            self._evict_clean(overflow)
+        if nbytes <= self.free_bytes:
+            self._clean[block_id] = nbytes
+            self.clean_bytes += nbytes
+
+    # -- background flusher ------------------------------------------------------
+
+    def _maybe_start_flusher(self, force: bool = False) -> None:
+        over_threshold = self.dirty_bytes > self.dirty_background
+        if (over_threshold or force) and not self._flusher_running:
+            self._flusher_running = True
+            self.env.process(self._flush_loop())
+
+    def sync(self) -> Event:
+        """Flush all dirty data to disk (used by tests and fair teardowns)."""
+        return self.env.process(self._sync())
+
+    def _sync(self) -> Generator:
+        self._maybe_start_flusher(force=True)
+        while self.dirty_bytes > 0:
+            waiter = self.env.event()
+            self._space_waiters.append((waiter, float("inf")))
+            yield waiter
+
+    def _flush_loop(self) -> Generator:
+        try:
+            while self._dirty:
+                block_id, (disk_index, nbytes) = next(iter(self._dirty.items()))
+                self._dirty.pop(block_id)
+                remaining = nbytes
+                while remaining > 0:
+                    chunk = min(FLUSH_CHUNK_BYTES, remaining)
+                    yield self.disks[disk_index].write(chunk, label=block_id)
+                    remaining -= chunk
+                    self.dirty_bytes -= chunk
+                    self._wake_space_waiters()
+                self._insert_clean(block_id, nbytes)
+                # Keep flushing while over threshold or someone needs space;
+                # otherwise stop and let dirty data age in cache.
+                if (self.dirty_bytes <= self.dirty_background
+                        and not self._space_waiters):
+                    break
+        finally:
+            self._flusher_running = False
+            self._wake_space_waiters()
+
+    def _wake_space_waiters(self) -> None:
+        still_waiting: Deque[Tuple[Event, float]] = deque()
+        while self._space_waiters:
+            waiter, nbytes = self._space_waiters.popleft()
+            sync_waiter = nbytes == float("inf")
+            if sync_waiter and self.dirty_bytes <= 0:
+                waiter.succeed()
+            elif not sync_waiter and (self.free_bytes >= nbytes
+                                      or self._clean):
+                waiter.succeed()
+            else:
+                still_waiting.append((waiter, nbytes))
+        self._space_waiters = still_waiting
+        if still_waiting:
+            self._maybe_start_flusher(force=True)
+
+    def _check_disk(self, disk_index: int) -> None:
+        if not 0 <= disk_index < len(self.disks):
+            raise SimulationError(f"no such disk: {disk_index}")

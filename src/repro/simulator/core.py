@@ -1,0 +1,410 @@
+"""A minimal discrete-event simulation kernel.
+
+This module implements the event loop that every other part of the library
+runs on: a monotonically advancing virtual clock, a priority queue of
+pending events, and generator-based processes in the style of SimPy.
+
+Only the features the frameworks need are implemented, which keeps the
+kernel small enough to reason about and test exhaustively:
+
+* :class:`Environment` -- the clock and event queue.
+* :class:`Event` -- a one-shot occurrence that callbacks can wait on.
+* :class:`Timeout` -- an event that fires after a virtual delay.
+* :class:`Process` -- a generator that yields events; it resumes when the
+  yielded event fires and is itself an event that fires when the generator
+  returns.
+* :class:`AllOf` / :class:`AnyOf` -- barrier and race combinators.
+
+Determinism: events scheduled for the same time fire in scheduling order
+(a monotone sequence number breaks ties), so a simulation is a pure
+function of its inputs and seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import EmptySchedule, Interrupted, SimulationError, StopSimulation
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on an :class:`Environment`.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called (at which point it is placed on the event
+    queue), and *processed* once the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set to True by a waiting process to mark a failure as handled.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (raises while still pending)."""
+        if not self.triggered:
+            raise SimulationError("value of a pending event is not available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's result (raises while still pending)."""
+        if self._value is _PENDING:
+            raise SimulationError("value of a pending event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event propagates the exception into every process waiting
+        on it, unless a callback defuses it first.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately, which makes waiting on completed events safe.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._enqueue(self)
+
+
+class Interruption(Event):
+    """Internal event that throws :class:`Interrupted` into a process."""
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a completed process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self._ok = False
+        self._value = Interrupted(cause)
+        self.defused = True
+        self.callbacks.append(process._resume_interrupt)
+        self.env._enqueue(self)
+
+
+class Process(Event):
+    """Wraps a generator so it can drive, and be awaited as, an event.
+
+    The generator yields :class:`Event` instances.  Each time a yielded
+    event fires, the generator resumes with the event's value (or the
+    event's exception is thrown into it).  When the generator returns, the
+    process event succeeds with the return value; an uncaught exception
+    fails the process event.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        Interruption(self, cause)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # Completed before the interruption was delivered.
+        # Detach from whatever the process was waiting on: the interrupt
+        # supersedes it, and the stale wakeup must not resume us later.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    next_target = self._generator.send(event._value)
+                except StopIteration as exc:
+                    self._finish_ok(exc.value)
+                    break
+                except BaseException as exc:
+                    self._finish_fail(exc)
+                    break
+            else:
+                event.defused = True
+                try:
+                    next_target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._finish_ok(exc.value)
+                    break
+                except BaseException as exc:
+                    self._finish_fail(exc)
+                    break
+
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_target!r}")
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+            if next_target.processed:
+                # Already done: loop around immediately with its outcome.
+                event = next_target
+                continue
+            self._target = next_target
+            next_target.add_callback(self._resume)
+            break
+        self.env._active_process = None
+
+    def _finish_ok(self, value: Any) -> None:
+        self._target = None
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._target = None
+        self._ok = False
+        self._value = exc
+        self.env._enqueue(self)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self._ok = True
+            self._value = []
+            env._enqueue(self)
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every event has succeeded; fails fast on any failure."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds (or fails) with the outcome of the first event to fire."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defused = True
+            self.fail(event._value)
+
+
+class Environment:
+    """The discrete-event simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier: fires when every event has fired (fails fast)."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race: fires with the first event's outcome."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise EmptySchedule("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: "Event | float | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until the clock reaches that time), or an :class:`Event` (run
+        until it fires, returning its value).
+        """
+        stop_value: Any = None
+        if isinstance(until, Event):
+            if until.processed:
+                return until.value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event)
+
+            until.add_callback(_stop)
+            deadline = float("inf")
+        elif until is None:
+            deadline = float("inf")
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"until={deadline} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self.peek() <= deadline:
+                self.step()
+        except StopSimulation as stop:
+            event = stop.value
+            if not event._ok:
+                raise event._value
+            return event._value
+        if deadline != float("inf"):
+            self._now = deadline
+        if isinstance(until, Event) and not until.processed:
+            raise SimulationError("run() ended before the awaited event fired")
+        return stop_value

@@ -1,0 +1,224 @@
+"""Disk models.
+
+Two device behaviours matter to the paper:
+
+* **HDD**: a single head.  One sequential stream runs at full throughput
+  after one seek; concurrent streams are interleaved at a fixed chunk
+  granularity and pay a seek on every stream switch, which roughly halves
+  effective throughput under the fine-grained concurrent access pattern
+  of Spark tasks (§5.4).  Implemented as a chunked round-robin server.
+
+* **SSD**: an internally parallel device.  A single stream cannot
+  saturate it; aggregate throughput scales with the number of concurrent
+  requests up to ``max_concurrency`` (the paper found four outstanding
+  monotasks reach near-maximum throughput, §3.3).  Implemented as a
+  rate-shared server with a per-stream cap.
+
+Both expose ``submit(nbytes, kind) -> Event`` and a :class:`BusyTracker`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, List, Optional
+
+from repro.config import DiskSpec
+from repro.errors import SimulationError
+from repro.simulator.core import Environment, Event
+from repro.simulator.resources import BusyTracker
+
+__all__ = ["Disk", "DiskRequest"]
+
+#: Extra seek multiplier when the head alternates between read and
+#: write streams (anticipatory scheduling loss, write settling).
+READ_WRITE_SWITCH_FACTOR = 4.0
+
+
+class DiskRequest:
+    """One outstanding read or write of ``nbytes`` contiguous bytes."""
+
+    __slots__ = ("nbytes", "remaining", "kind", "done", "submitted_at",
+                 "started_at", "rate", "label")
+
+    def __init__(self, env: Environment, nbytes: float, kind: str,
+                 label: str = "") -> None:
+        if nbytes < 0:
+            raise SimulationError(f"negative request size: {nbytes}")
+        if kind not in ("read", "write"):
+            raise SimulationError(f"unknown request kind: {kind}")
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.kind = kind
+        self.label = label
+        self.done: Event = env.event()
+        self.submitted_at = env.now
+        self.started_at: Optional[float] = None
+        self.rate = 0.0  # SSD mode only
+
+
+class Disk:
+    """A single physical disk on one machine."""
+
+    def __init__(self, env: Environment, spec: DiskSpec, name: str = "disk") -> None:
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.tracker = BusyTracker(env, spec.max_concurrency, name)
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.seeks = 0
+        #: (completion time, bytes, kind) per request -- machine-level
+        #: observation used by the Spark-based models (§6.6).
+        self.transfer_log: List[tuple] = []
+        if spec.max_concurrency == 1:
+            self._queue: Deque[DiskRequest] = deque()
+            self._server_active = False
+        else:
+            self._active: List[DiskRequest] = []
+            self._recompute_seq = 0
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def is_hdd(self) -> bool:
+        """True for single-head (spinning) devices."""
+        return self.spec.max_concurrency == 1
+
+    def submit(self, nbytes: float, kind: str, label: str = "") -> Event:
+        """Start a request; the returned event fires when it completes."""
+        request = DiskRequest(self.env, nbytes, kind, label)
+        if kind == "read":
+            self.bytes_read += request.nbytes
+        else:
+            self.bytes_written += request.nbytes
+        if request.nbytes == 0:
+            request.done.succeed(request)
+            return request.done
+        if self.is_hdd:
+            self._queue.append(request)
+            if not self._server_active:
+                self._server_active = True
+                self.env.process(self._serve_hdd())
+        else:
+            self._admit_ssd(request)
+        return request.done
+
+    def read(self, nbytes: float, label: str = "") -> Event:
+        """Submit a read request."""
+        return self.submit(nbytes, "read", label)
+
+    def write(self, nbytes: float, label: str = "") -> Event:
+        """Submit a write request."""
+        return self.submit(nbytes, "write", label)
+
+    def time_to_serve(self, nbytes: float) -> float:
+        """Uncontended sequential service time: one seek plus transfer."""
+        return self.spec.seek_time_s + nbytes / self.spec.throughput_bps
+
+    @property
+    def queue_length(self) -> int:
+        """Requests outstanding (queued plus in service)."""
+        if self.is_hdd:
+            return len(self._queue) + (1 if self._server_active else 0)
+        return len(self._active)
+
+    # -- HDD: chunked round-robin server --------------------------------------
+
+    def _serve_hdd(self) -> Generator:
+        spec = self.spec
+        last: Optional[DiskRequest] = None
+        self.tracker.set_busy(1)
+        try:
+            while self._queue:
+                request = self._queue.popleft()
+                if request.started_at is None:
+                    request.started_at = self.env.now
+                chunk = min(spec.interleave_bytes, request.remaining)
+                service = chunk / spec.throughput_bps
+                # A seek is paid when the head moves: at the start of a new
+                # request, or when switching between interleaved streams.
+                # Alternating between reads and writes is costlier still
+                # (head repositioning plus write-settling), which is what
+                # makes Spark's mixed map-stage I/O so expensive (§5.4).
+                if request is not last:
+                    penalty = spec.seek_time_s
+                    if last is not None and request.kind != last.kind:
+                        penalty *= READ_WRITE_SWITCH_FACTOR
+                    service += penalty
+                    self.seeks += 1
+                yield self.env.timeout(service)
+                request.remaining -= chunk
+                if request.remaining > 1e-9:
+                    self._queue.append(request)
+                    last = request
+                else:
+                    request.remaining = 0.0
+                    last = request
+                    self.transfer_log.append(
+                        (self.env.now, request.nbytes, request.kind))
+                    request.done.succeed(request)
+        finally:
+            self._server_active = False
+            self.tracker.set_busy(0)
+
+    # -- SSD: rate-shared server ----------------------------------------------
+
+    def _admit_ssd(self, request: DiskRequest) -> None:
+        request.started_at = self.env.now
+        self._active.append(request)
+        self._recompute_ssd()
+
+    def _ssd_rate_per_request(self, n: int) -> float:
+        """Per-request service rate with ``n`` concurrent requests.
+
+        Each stream is capped at ``throughput / max_concurrency``; with
+        more than ``max_concurrency`` streams the full device rate is
+        shared evenly.
+        """
+        spec = self.spec
+        if n <= 0:
+            return 0.0
+        per_stream_cap = spec.throughput_bps / spec.max_concurrency
+        return min(per_stream_cap, spec.throughput_bps / n)
+
+    def _recompute_ssd(self) -> None:
+        """Re-shard device bandwidth and reschedule the next completion."""
+        now = self.env.now
+        for request in self._active:
+            # Progress accrued since the last recompute at the old rate.
+            if request.rate > 0:
+                elapsed = now - request.started_at
+                request.remaining = max(
+                    0.0, request.remaining - request.rate * elapsed)
+            request.started_at = now
+        n = len(self._active)
+        rate = self._ssd_rate_per_request(n)
+        for request in self._active:
+            request.rate = rate
+        self.tracker.set_busy(min(n, self.spec.max_concurrency))
+        self._recompute_seq += 1
+        if not self._active:
+            return
+        seq = self._recompute_seq
+        soonest = min(self._active, key=lambda r: r.remaining)
+        delay = self.spec.seek_time_s + soonest.remaining / rate
+        self.env.process(self._ssd_completion(seq, delay))
+
+    def _ssd_completion(self, seq: int, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        if seq != self._recompute_seq:
+            return  # A newer recompute superseded this completion.
+        now = self.env.now
+        finished = []
+        for request in self._active:
+            progressed = request.rate * (now - request.started_at)
+            if request.remaining - progressed <= 1e-9:
+                request.remaining = 0.0
+                finished.append(request)
+        for request in finished:
+            self._active.remove(request)
+        self._recompute_ssd()
+        for request in finished:
+            self.transfer_log.append(
+                (self.env.now, request.nbytes, request.kind))
+            request.done.succeed(request)

@@ -1,0 +1,241 @@
+"""Flow-level network fabric with max-min fair bandwidth sharing.
+
+Machines attach to a non-blocking core fabric through full-duplex NICs,
+so the only capacity constraints are each machine's uplink and downlink.
+Active flows receive their max-min fair rates (computed by water-filling
+over the link constraints); whenever a flow starts or finishes, progress
+is banked at the old rates and rates are recomputed.
+
+This is the standard flow-level approximation used by cluster
+simulators: it captures exactly the effect the paper cares about --
+transfers from one machine contending with other flows from the same
+sender or to the same receiver (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.core import Environment, Event
+from repro.simulator.resources import BusyTracker
+
+__all__ = ["Network", "Flow"]
+
+#: One-way latency charged at flow start (connection + first byte).
+FLOW_LATENCY_S = 0.0005
+
+
+class Flow:
+    """An active transfer of ``nbytes`` from ``src`` to ``dst``."""
+
+    __slots__ = ("src", "dst", "nbytes", "remaining", "rate", "last_update",
+                 "done", "label", "started_at")
+
+    def __init__(self, env: Environment, src: int, dst: int, nbytes: float,
+                 label: str = "") -> None:
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.last_update = env.now
+        self.started_at = env.now
+        self.done: Event = env.event()
+        self.label = label
+
+
+class Network:
+    """The cluster fabric: per-machine up/down links, max-min fair flows."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._up_bps: Dict[int, float] = {}
+        self._down_bps: Dict[int, float] = {}
+        self._flows: List[Flow] = []
+        self._seq = 0
+        self.bytes_transferred = 0.0
+        #: (completion time, bytes, dst, src) per flow -- machine-level
+        #: observation used by the Spark-based models (§6.6).
+        self.completion_log: List[tuple] = []
+        #: Per-machine receive-side busy trackers (1 unit = link saturated
+        #: is approximated as "any flow active"); used for utilization plots.
+        self.rx_trackers: Dict[int, BusyTracker] = {}
+        self.tx_trackers: Dict[int, BusyTracker] = {}
+
+    def register_machine(self, machine_id: int, up_bps: float,
+                         down_bps: float) -> None:
+        """Attach a machine's NIC to the fabric."""
+        if up_bps <= 0 or down_bps <= 0:
+            raise SimulationError("link bandwidth must be positive")
+        if machine_id in self._up_bps:
+            raise SimulationError(f"machine {machine_id} already registered")
+        self._up_bps[machine_id] = up_bps
+        self._down_bps[machine_id] = down_bps
+        self.rx_trackers[machine_id] = BusyTracker(
+            self.env, 1, f"net-rx-{machine_id}")
+        self.tx_trackers[machine_id] = BusyTracker(
+            self.env, 1, f"net-tx-{machine_id}")
+
+    def down_bps(self, machine_id: int) -> float:
+        """A machine's downlink capacity."""
+        return self._down_bps[machine_id]
+
+    def up_bps(self, machine_id: int) -> float:
+        """A machine's uplink capacity."""
+        return self._up_bps[machine_id]
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently in the air."""
+        return len(self._flows)
+
+    def transfer(self, src: int, dst: int, nbytes: float,
+                 label: str = "") -> Event:
+        """Start a flow; the returned event fires when the last byte lands."""
+        if src not in self._up_bps or dst not in self._down_bps:
+            raise SimulationError(f"unregistered machine in flow {src}->{dst}")
+        flow = Flow(self.env, src, dst, nbytes, label)
+        self.bytes_transferred += flow.nbytes
+        if nbytes <= 0 or src == dst:
+            # Local or empty: completes after the fixed latency only.
+            self.env.process(self._complete_local(flow))
+            return flow.done
+        self._flows.append(flow)
+        self._rebalance()
+        return flow.done
+
+    def _complete_local(self, flow: Flow) -> Generator:
+        yield self.env.timeout(FLOW_LATENCY_S)
+        self.completion_log.append(
+            (self.env.now, flow.nbytes, flow.dst, flow.src))
+        flow.done.succeed(flow)
+
+    # -- max-min fair rate allocation -----------------------------------------
+
+    def _compute_rates(self) -> None:
+        """Water-filling: repeatedly freeze the most-constrained link.
+
+        Incremental bookkeeping (per-link flow lists, counts, and caps
+        updated as flows freeze) keeps each recompute at
+        O(flows + links^2) rather than O(links * flows).
+        """
+        flows = self._flows
+        if not flows:
+            return
+        # Link keys: uplink = machine_id, downlink = ~machine_id (bit
+        # complement keeps them distinct ints -- cheaper than tuples).
+        by_link: Dict[int, List[Flow]] = {}
+        count: Dict[int, int] = {}
+        cap: Dict[int, float] = {}
+        for flow in flows:
+            flow.rate = -1.0  # pending marker
+            up, down = flow.src, ~flow.dst
+            entry = by_link.get(up)
+            if entry is None:
+                by_link[up] = [flow]
+                count[up] = 1
+                cap[up] = self._up_bps[flow.src]
+            else:
+                entry.append(flow)
+                count[up] += 1
+            entry = by_link.get(down)
+            if entry is None:
+                by_link[down] = [flow]
+                count[down] = 1
+                cap[down] = self._down_bps[flow.dst]
+            else:
+                entry.append(flow)
+                count[down] += 1
+        while count:
+            best_link = min(count, key=lambda l: cap[l] / count[l])
+            share = cap[best_link] / count[best_link]
+            if share < 1e-6:
+                share = 1e-6
+            for flow in by_link[best_link]:
+                if flow.rate >= 0.0:
+                    continue
+                flow.rate = share
+                for link in (flow.src, ~flow.dst):
+                    if link == best_link:
+                        continue
+                    remaining = count.get(link)
+                    if remaining is None:
+                        continue
+                    if remaining == 1:
+                        del count[link]
+                        del cap[link]
+                    else:
+                        count[link] = remaining - 1
+                        cap[link] -= share
+            del count[best_link]
+            del cap[best_link]
+
+    def _bank_progress(self) -> None:
+        now = self.env.now
+        for flow in self._flows:
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            flow.last_update = now
+
+    def _update_trackers(self) -> None:
+        rx_active = {m: 0 for m in self._down_bps}
+        tx_active = {m: 0 for m in self._up_bps}
+        for flow in self._flows:
+            rx_active[flow.dst] = 1
+            tx_active[flow.src] = 1
+        for machine, busy in rx_active.items():
+            tracker = self.rx_trackers[machine]
+            if tracker.busy != busy:
+                tracker.set_busy(busy)
+        for machine, busy in tx_active.items():
+            tracker = self.tx_trackers[machine]
+            if tracker.busy != busy:
+                tracker.set_busy(busy)
+
+    def _rebalance(self) -> None:
+        self._bank_progress()
+        self._compute_rates()
+        self._update_trackers()
+        self._seq += 1
+        if not self._flows:
+            return
+        seq = self._seq
+        soonest = min(f.remaining / f.rate for f in self._flows)
+        # The first flow to start also pays the connection latency.
+        self.env.process(self._completion(seq, soonest))
+
+    def _completion(self, seq: int, delay: float) -> Generator:
+        yield self.env.timeout(delay)
+        if seq != self._seq:
+            return  # A newer rebalance superseded this completion.
+        self._bank_progress()
+        finished = [f for f in self._flows if f.remaining <= 1e-6]
+        if not finished:
+            # Float slack: force the closest flow to completion.
+            closest = min(self._flows, key=lambda f: f.remaining)
+            closest.remaining = 0.0
+            finished = [closest]
+        for flow in finished:
+            self._flows.remove(flow)
+        self._bank_progress()
+        self._compute_rates()
+        self._update_trackers()
+        self._seq += 1
+        if self._flows:
+            seq2 = self._seq
+            soonest = min(f.remaining / f.rate for f in self._flows)
+            self.env.process(self._completion(seq2, soonest))
+        for flow in finished:
+            self.completion_log.append(
+                (self.env.now, flow.nbytes, flow.dst, flow.src))
+            flow.done.succeed(flow)
+
+    # -- introspection for the performance model -------------------------------
+
+    def rates_snapshot(self) -> Dict[str, float]:
+        """Current per-flow rates, keyed by label (for tests/debugging)."""
+        self._bank_progress()
+        self._compute_rates()
+        return {f.label or f"{f.src}->{f.dst}": f.rate for f in self._flows}

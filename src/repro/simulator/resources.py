@@ -1,0 +1,181 @@
+"""Synchronization and measurement primitives built on the event kernel.
+
+These are the building blocks the hardware models and frameworks share:
+
+* :class:`Store` -- an unbounded or bounded FIFO channel of items.
+* :class:`Semaphore` -- counted admission control (cores, disk slots...).
+* :class:`BusyTracker` -- records how many units of a resource are busy
+  over time, from which utilization time series are derived.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simulator.core import Environment, Event
+
+__all__ = ["Store", "Semaphore", "BusyTracker"]
+
+
+class Store:
+    """A FIFO channel: producers ``put`` items, consumers ``get`` events.
+
+    ``capacity`` bounds the number of buffered items; ``put`` returns an
+    event that does not fire until there is room.  An unbounded store
+    (the default) completes puts immediately.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Buffer ``item``; the event fires once there is room."""
+        event = self.env.event()
+        if len(self.items) < self.capacity:
+            self._deliver(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """The event fires with the next item, FIFO."""
+        event = self.env.event()
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _deliver(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self._deliver(item)
+            event.succeed()
+
+
+class Semaphore:
+    """Counted admission control with FIFO waiting.
+
+    ``acquire`` returns an event that fires once a unit is available; the
+    holder must call ``release`` exactly once.
+    """
+
+    def __init__(self, env: Environment, units: int) -> None:
+        if units < 1:
+            raise SimulationError(f"semaphore needs at least one unit: {units}")
+        self.env = env
+        self.units = units
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Units not currently held."""
+        return self.units - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Acquirers currently waiting."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """The event fires once a unit is granted (FIFO order)."""
+        event = self.env.event()
+        if self.in_use < self.units:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a unit, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class BusyTracker:
+    """Step-function record of how many units of a resource are busy.
+
+    The tracker stores ``(time, busy_units)`` change points.  Utilization
+    over a window and full time series are computed by
+    :mod:`repro.metrics.utilization` from these change points.
+    """
+
+    def __init__(self, env: Environment, units: int, name: str = "") -> None:
+        self.env = env
+        self.units = units
+        self.name = name
+        self.busy = 0
+        self.changes: List[Tuple[float, int]] = [(env.now, 0)]
+
+    def add(self, delta: int = 1) -> None:
+        """Mark ``delta`` more units busy from now on."""
+        self.busy += delta
+        if self.busy < 0:
+            raise SimulationError(f"{self.name}: busy count went negative")
+        self._record()
+
+    def remove(self, delta: int = 1) -> None:
+        """Mark ``delta`` units idle again."""
+        self.add(-delta)
+
+    def set_busy(self, busy: int) -> None:
+        """Set the absolute busy-unit count."""
+        self.busy = busy
+        self._record()
+
+    def _record(self) -> None:
+        now = self.env.now
+        if self.changes and self.changes[-1][0] == now:
+            self.changes[-1] = (now, self.busy)
+        else:
+            self.changes.append((now, self.busy))
+
+    def busy_time(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Total busy unit-seconds in ``[start, end]``."""
+        if end is None:
+            end = self.env.now
+        total = 0.0
+        for (t0, busy), (t1, _) in zip(self.changes, self.changes[1:]):
+            lo, hi = max(t0, start), min(t1, end)
+            if hi > lo:
+                total += busy * (hi - lo)
+        # Tail segment from the last change point to `end`.
+        t_last, busy_last = self.changes[-1]
+        lo, hi = max(t_last, start), end
+        if hi > lo:
+            total += busy_last * (hi - lo)
+        return total
+
+    def utilization(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean fraction of units busy over ``[start, end]``."""
+        if end is None:
+            end = self.env.now
+        window = end - start
+        if window <= 0:
+            return 0.0
+        return self.busy_time(start, end) / (self.units * window)

@@ -1,0 +1,6 @@
+"""Spark-style baseline: fine-grained pipelined multitasks, slot scheduling."""
+
+from repro.spark.engine import SparkEngine
+from repro.spark.task import SparkTaskRun
+
+__all__ = ["SparkEngine", "SparkTaskRun"]

@@ -1,0 +1,36 @@
+"""Scaling helpers for scaled-down experiments.
+
+When an experiment shrinks the paper's data volume by a fraction, every
+*capacity* that interacts with data volume must shrink by the same
+fraction -- otherwise artifacts appear (e.g. a 600 GB shuffle does not
+fit in the cluster's buffer caches, but a 60 GB scaled copy would, which
+would hand the Spark baseline an unrealistic free ride on shuffle
+reads).  Rates (disk/network throughput, CPU speed) stay unscaled, so
+per-stage *times* scale linearly with the fraction while bottleneck
+structure is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.config import GB, MachineSpec
+from repro.errors import ConfigError
+
+__all__ = ["scaled_memory_overrides"]
+
+
+def scaled_memory_overrides(fraction: float,
+                            memory_bytes: float = 60 * GB,
+                            buffer_cache_bytes: float = 30 * GB,
+                            dirty_background_bytes: float = 2 * GB) -> dict:
+    """MachineSpec overrides for a ``fraction``-scaled experiment.
+
+    Pass the result to :func:`repro.cluster.hdd_cluster` /
+    :func:`~repro.cluster.ssd_cluster` as keyword overrides.
+    """
+    if not 0 < fraction <= 1.0:
+        raise ConfigError(f"fraction must be in (0, 1]: {fraction}")
+    return {
+        "memory_bytes": memory_bytes * fraction,
+        "buffer_cache_bytes": buffer_cache_bytes * fraction,
+        "dirty_background_bytes": dirty_background_bytes * fraction,
+    }

@@ -1,0 +1,123 @@
+"""The sort workloads (§5.2, §6.2-§6.4, §7).
+
+The paper's recurring microbenchmark sorts random key-value pairs where
+each value is an array of ``values_per_key`` longs.  Fixing the total
+data size while varying the array length changes the CPU:I/O ratio:
+"smaller values result in more CPU time ... because fewer keys need to
+be sorted" -- per-byte I/O stays constant while per-record CPU (row
+overheads, (de)serialization per record, sort comparisons) scales with
+the number of records per byte.
+
+Scaled-down representation: each block carries a small sample of real
+``(key, values)`` records, while ``record_count`` / ``data_bytes`` model
+the true cardinality and volume, so CPU and I/O times reflect the full
+data size and the sort's correctness remains testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.api.context import AnalyticsContext
+from repro.api.ops import OpCost
+from repro.cluster.cluster import Cluster
+from repro.datamodel.records import Partition
+from repro.engine.base import JobResult
+from repro.errors import ConfigError
+
+__all__ = ["SortWorkload", "generate_sort_input", "run_sort",
+           "sort_boundaries"]
+
+#: Key space for generated sort keys.
+KEY_SPACE = 1 << 30
+
+#: Per-record CPU cost of the sort itself (comparisons, moves) --
+#: calibrated to a JVM sort of boxed records, as in Spark 1.3.
+SORT_S_PER_RECORD = 3.0e-6
+#: Map-side per-record cost: range-partitioner lookup and record copy.
+PARTITION_S_PER_RECORD = 1.5e-6
+
+
+@dataclass(frozen=True)
+class SortWorkload:
+    """Parameters of one sort experiment."""
+
+    total_bytes: float
+    values_per_key: int
+    num_map_tasks: int
+    num_reduce_tasks: Optional[int] = None
+    sample_records_per_block: int = 64
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.num_map_tasks < 1:
+            raise ConfigError(f"invalid sort workload: {self}")
+        if self.values_per_key < 1:
+            raise ConfigError("values_per_key must be >= 1")
+
+    @property
+    def record_bytes(self) -> float:
+        """Modeled serialized record size: key + longs + row overhead."""
+        return 8.0 + 8.0 * self.values_per_key + 16.0
+
+    @property
+    def total_records(self) -> float:
+        """Modeled record count of the whole dataset."""
+        return self.total_bytes / self.record_bytes
+
+    @property
+    def reduce_tasks(self) -> int:
+        """Reduce-side task count (defaults to the map count)."""
+        return self.num_reduce_tasks or self.num_map_tasks
+
+    @property
+    def block_bytes(self) -> float:
+        """Bytes per input block (= per map task)."""
+        return self.total_bytes / self.num_map_tasks
+
+    @property
+    def records_per_block(self) -> float:
+        """Modeled records per input block."""
+        return self.total_records / self.num_map_tasks
+
+
+def generate_sort_input(cluster: Cluster, workload: SortWorkload,
+                        name: str = "sort-input", seed: int = 0) -> None:
+    """Pre-load the DFS with the sort input, as the paper's setup does."""
+    rng = random.Random(seed)
+    sample_value = tuple(range(min(workload.values_per_key, 4)))
+    payloads: List[Partition] = []
+    for _ in range(workload.num_map_tasks):
+        records = [(rng.randrange(KEY_SPACE), sample_value)
+                   for _ in range(workload.sample_records_per_block)]
+        payloads.append(Partition(
+            records=records,
+            record_count=workload.records_per_block,
+            data_bytes=workload.block_bytes))
+    cluster.dfs.create_file(
+        name, payloads, [workload.block_bytes] * workload.num_map_tasks)
+
+
+def sort_boundaries(workload: SortWorkload) -> List[int]:
+    """Balanced range boundaries over the uniform key space."""
+    n = workload.reduce_tasks
+    return [KEY_SPACE * i // n for i in range(1, n)]
+
+
+def run_sort(ctx: AnalyticsContext, workload: SortWorkload,
+             input_name: str = "sort-input",
+             output_name: str = "sort-output",
+             input_rdd=None) -> JobResult:
+    """Read, sort by key, and write back -- the paper's sort job."""
+    source = input_rdd if input_rdd is not None else ctx.text_file(input_name)
+    partitioned = source.map(
+        lambda record: record,
+        cost=OpCost(per_record_s=PARTITION_S_PER_RECORD), size_ratio=1.0,
+        name="partition")
+    sorted_rdd = partitioned.sort_by_key(
+        num_partitions=workload.reduce_tasks,
+        boundaries=sort_boundaries(workload),
+        cost=OpCost(per_record_s=SORT_S_PER_RECORD))
+    sorted_rdd.save_as_text_file(output_name)
+    return ctx.last_result

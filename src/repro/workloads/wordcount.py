@@ -1,0 +1,58 @@
+"""Word count: the paper's running example (Figures 1 and 4)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.api.context import AnalyticsContext
+from repro.api.ops import OpCost
+from repro.cluster.cluster import Cluster
+from repro.config import MB
+from repro.datamodel.records import Partition
+from repro.engine.base import JobResult
+
+__all__ = ["generate_text_input", "word_count", "VOCABULARY"]
+
+VOCABULARY = (
+    "the quick brown fox jumps over lazy dog monotask spark cluster "
+    "disk network cpu scheduler stage shuffle performance clarity").split()
+
+
+def generate_text_input(cluster: Cluster, num_blocks: int,
+                        block_bytes: float = 128 * MB,
+                        lines_per_block: int = 40,
+                        words_per_line: int = 8,
+                        name: str = "text-input", seed: int = 0) -> None:
+    """Pre-load the DFS with synthetic text."""
+    rng = random.Random(seed)
+    mean_line_bytes = words_per_line * 6.0
+    lines_modeled = block_bytes / mean_line_bytes
+    payloads: List[Partition] = []
+    for _ in range(num_blocks):
+        lines = [" ".join(rng.choice(VOCABULARY)
+                          for _ in range(words_per_line))
+                 for _ in range(lines_per_block)]
+        payloads.append(Partition(records=lines,
+                                  record_count=lines_modeled,
+                                  data_bytes=block_bytes))
+    cluster.dfs.create_file(name, payloads, [block_bytes] * num_blocks)
+
+
+def word_count(ctx: AnalyticsContext, input_name: str = "text-input",
+               output_name: Optional[str] = "wordcount-output",
+               num_reduce_tasks: Optional[int] = None) -> JobResult:
+    """Figure 1's job: split, count, aggregate, save."""
+    counts = (ctx.text_file(input_name)
+              .flat_map(lambda line: line.split(" "),
+                        cost=OpCost(per_record_s=0.5e-6))
+              .map(lambda word: (word, 1),
+                   cost=OpCost(per_record_s=0.2e-6), size_ratio=1.0)
+              .reduce_by_key(lambda a, b: a + b,
+                             num_partitions=num_reduce_tasks,
+                             combine_cost=OpCost(per_record_s=0.3e-6)))
+    if output_name is None:
+        counts.collect()
+    else:
+        counts.save_as_text_file(output_name)
+    return ctx.last_result

@@ -1,0 +1,38 @@
+"""Tests for the §7 auto-configuration sweep helper."""
+
+import pytest
+
+from repro import GB
+from repro.autoconf import ConcurrencySweep, sweep_spark_concurrency
+from repro.cluster import hdd_cluster
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+
+
+class TestConcurrencySweep:
+    def test_summary_properties(self):
+        sweep = ConcurrencySweep(spark_seconds={2: 20.0, 8: 10.0, 16: 15.0},
+                                 monospark_seconds=9.0)
+        assert sweep.best_spark == 10.0
+        assert sweep.best_spark_slots == 8
+        assert sweep.worst_spark == 20.0
+        assert sweep.monospark_vs_best_spark == pytest.approx(0.9)
+
+
+class TestSweepEndToEnd:
+    def test_sweep_runs_all_configs(self):
+        workload = SortWorkload(total_bytes=4 * GB, values_per_key=25,
+                                num_map_tasks=32)
+
+        def make_cluster():
+            cluster = hdd_cluster(num_machines=2,
+                                  **scaled_memory_overrides(0.01))
+            generate_sort_input(cluster, workload)
+            return cluster
+
+        sweep = sweep_spark_concurrency(
+            make_cluster, lambda ctx: run_sort(ctx, workload),
+            slot_options=(4, 8))
+        assert set(sweep.spark_seconds) == {4, 8}
+        assert sweep.monospark_seconds > 0
+        assert all(seconds > 0 for seconds in sweep.spark_seconds.values())

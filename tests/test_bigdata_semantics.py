@@ -1,0 +1,93 @@
+"""Semantic checks for the Big Data Benchmark queries.
+
+The queries run on sampled real records, so their *data* behaviour (not
+just timing) is checkable: filters filter, aggregates aggregate, joins
+match on shared URLs.
+"""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.api.plan import CollectOutput
+from repro.cluster import hdd_cluster
+from repro.workloads.bigdata import (BdbScale, Q1_SELECTIVITY,
+                                     generate_bdb_tables)
+from repro.workloads.scaling import scaled_memory_overrides
+
+
+@pytest.fixture(scope="module")
+def bdb():
+    scale = BdbScale(fraction=0.01)
+    cluster = hdd_cluster(num_machines=3, **scaled_memory_overrides(0.01))
+    generate_bdb_tables(cluster, scale, seed=5)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    return ctx, scale
+
+
+class TestTableSemantics:
+    def test_rankings_rows_well_formed(self, bdb):
+        ctx, _ = bdb
+        rows = ctx.text_file("rankings").take(20)
+        for url, (page_rank, duration) in rows:
+            assert url.startswith("url")
+            assert 0 <= page_rank < 10000
+            assert 0 <= duration < 100
+
+    def test_uservisits_rows_well_formed(self, bdb):
+        ctx, _ = bdb
+        rows = ctx.text_file("uservisits").take(20)
+        for ip, (dest, visit_date, revenue) in rows:
+            assert ip.count(".") == 3
+            assert dest.startswith("url")
+            assert 0.0 <= visit_date < 1.0
+            assert 0.0 <= revenue < 1.0
+
+
+class TestQuerySemantics:
+    def test_query1_filter_is_real(self, bdb):
+        ctx, _ = bdb
+        cutoff = int(10000 * (1 - Q1_SELECTIVITY["1b"]))
+        result = (ctx.text_file("rankings")
+                  .filter(lambda row: row[1][0] > cutoff)
+                  .collect())
+        assert all(page_rank > cutoff for _, (page_rank, _) in result)
+
+    def test_query2_substring_grouping(self, bdb):
+        ctx, _ = bdb
+        sums = (ctx.text_file("uservisits")
+                .map(lambda row: (row[0][:8], row[1][2]))
+                .reduce_by_key(lambda a, b: a + b, num_partitions=4)
+                .collect())
+        reference = {}
+        for block in ctx.cluster.dfs.get_file("uservisits").blocks:
+            for ip, (_, _, revenue) in block.payload.records:
+                reference[ip[:8]] = reference.get(ip[:8], 0.0) + revenue
+        assert len(sums) == len(reference)
+        for prefix, total in sums:
+            assert total == pytest.approx(reference[prefix])
+
+    def test_query3_join_matches_urls(self, bdb):
+        ctx, _ = bdb
+        visits = (ctx.text_file("uservisits")
+                  .map(lambda row: (row[1][0], row[0])))
+        ranks = ctx.text_file("rankings").map(
+            lambda row: (row[0], row[1][0]))
+        joined = visits.join(ranks, num_partitions=4).collect()
+        ranking_urls = {
+            url for block in ctx.cluster.dfs.get_file("rankings").blocks
+            for url, _ in block.payload.records}
+        assert joined, "sampled join should produce matches"
+        assert all(url in ranking_urls for url, _ in joined)
+
+    def test_query4_counts_links(self, bdb):
+        ctx, _ = bdb
+        counts = (ctx.text_file("documents")
+                  .flat_map(lambda doc: doc[1])
+                  .map(lambda link: (link, 1))
+                  .reduce_by_key(lambda a, b: a + b, num_partitions=4)
+                  .collect())
+        total_links = sum(
+            len(doc[1])
+            for block in ctx.cluster.dfs.get_file("documents").blocks
+            for doc in block.payload.records)
+        assert sum(count for _, count in counts) == total_links

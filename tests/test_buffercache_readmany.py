@@ -1,0 +1,106 @@
+"""Tests for coalesced shuffle-segment reads and cache edge cases."""
+
+import pytest
+
+from repro.config import GB, HDD, MB, MachineSpec
+from repro.simulator import BufferCache, Disk, Environment
+
+
+def make_cache(env, cache_bytes=1 * GB):
+    spec = MachineSpec(cores=8, memory_bytes=4 * GB, disks=(HDD,),
+                       buffer_cache_bytes=cache_bytes,
+                       dirty_background_bytes=256 * MB)
+    disks = [Disk(env, HDD, name="disk0")]
+    return BufferCache(env, spec, disks), disks
+
+
+class TestReadMany:
+    def test_all_misses_one_disk_request(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        blocks = [(f"seg{i}", 4 * MB) for i in range(8)]
+        env.run(until=cache.read_many(0, blocks))
+        # One coalesced request: one seek total, not eight.
+        assert disks[0].seeks == 1
+        assert disks[0].bytes_read == 32 * MB
+        assert cache.read_misses == 8
+
+    def test_all_hits_cost_memcpy_only(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        blocks = [(f"seg{i}", 4 * MB) for i in range(4)]
+
+        def proc():
+            yield cache.read_many(0, blocks)
+            t_after_miss = env.now
+            yield cache.read_many(0, blocks)
+            return env.now - t_after_miss
+
+        hit_time = env.run(until=env.process(proc()))
+        assert hit_time < 0.05
+        assert cache.read_hits == 4
+        assert disks[0].bytes_read == 16 * MB
+
+    def test_mixed_hits_and_misses(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+
+        def proc():
+            yield cache.write(0, 4 * MB, "warm")
+            yield cache.read_many(0, [("warm", 4 * MB), ("cold", 4 * MB)])
+
+        env.run(until=env.process(proc()))
+        assert cache.read_hits == 1
+        assert cache.read_misses == 1
+        assert disks[0].bytes_read == 4 * MB
+
+    def test_misses_become_resident(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        env.run(until=cache.read_many(0, [("a", MB), ("b", MB)]))
+        assert cache.resident("a")
+        assert cache.resident("b")
+
+    def test_empty_list_is_noop(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        env.run(until=cache.read_many(0, []))
+        assert env.now == 0.0
+        assert disks[0].bytes_read == 0
+
+
+class TestTransferLogs:
+    def test_disk_log_records_completions(self):
+        env = Environment()
+        disk = Disk(env, HDD)
+        env.run(until=disk.read(8 * MB))
+        env.run(until=disk.write(4 * MB))
+        kinds = [(nbytes, kind) for _, nbytes, kind in disk.transfer_log]
+        assert (8 * MB, "read") in kinds
+        assert (4 * MB, "write") in kinds
+
+    def test_network_log_records_completions(self):
+        from repro.simulator import Network
+        env = Environment()
+        net = Network(env)
+        net.register_machine(0, 100 * MB, 100 * MB)
+        net.register_machine(1, 100 * MB, 100 * MB)
+        env.run(until=net.transfer(0, 1, 10 * MB))
+        assert len(net.completion_log) == 1
+        _, nbytes, dst, src = net.completion_log[0]
+        assert (nbytes, dst, src) == (10 * MB, 1, 0)
+
+
+class TestCpuSpeedFactor:
+    def test_slow_cores_stretch_compute(self):
+        from repro.simulator import CpuPool
+        env = Environment()
+        pool = CpuPool(env, cores=1, speed_factor=0.5)
+        env.run(until=pool.run(2.0))
+        assert env.now == pytest.approx(4.0)
+
+    def test_invalid_speed(self):
+        from repro.errors import SimulationError
+        from repro.simulator import CpuPool
+        with pytest.raises(SimulationError):
+            CpuPool(Environment(), cores=1, speed_factor=0.0)

@@ -1,0 +1,75 @@
+"""Tests for the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro import AnalyticsContext, MB, hdd_cluster
+from repro.datamodel import Partition
+from repro.errors import ModelError
+from repro.metrics.chrometrace import trace_events, write_chrome_trace
+
+
+def run_job(engine="monospark"):
+    cluster = hdd_cluster(num_machines=2)
+    payloads = [Partition.from_records([(i, i)], record_count=1,
+                                       data_bytes=32 * MB)
+                for i in range(8)]
+    cluster.dfs.create_file("input", payloads, [32 * MB] * 8)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    (ctx.text_file("input")
+        .map(lambda kv: (kv[0] % 2, 1), size_ratio=1.0)
+        .reduce_by_key(lambda a, b: a + b, num_partitions=2)
+        .collect())
+    return ctx
+
+
+class TestTraceEvents:
+    def test_events_cover_resources_and_tasks(self):
+        ctx = run_job()
+        events = trace_events(ctx.metrics)
+        categories = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert "cpu" in categories
+        assert "disk0" in categories
+        assert "tasks" in categories
+
+    def test_durations_nonnegative_microseconds(self):
+        ctx = run_job()
+        for event in trace_events(ctx.metrics):
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_job_filter(self):
+        ctx = run_job()
+        ctx.parallelize(range(4), num_partitions=2).count()
+        job0 = trace_events(ctx.metrics, job_id=0)
+        all_jobs = trace_events(ctx.metrics)
+        assert len(all_jobs) > len(job0)
+
+    def test_metadata_per_machine(self):
+        ctx = run_job()
+        events = trace_events(ctx.metrics)
+        names = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in names} == {0, 1}
+
+    def test_unknown_job_rejected(self):
+        ctx = run_job()
+        with pytest.raises(ModelError):
+            trace_events(ctx.metrics, job_id=99)
+
+    def test_spark_engine_exports_task_windows(self):
+        ctx = run_job(engine="spark")
+        events = trace_events(ctx.metrics)
+        assert all(e["cat"] == "tasks" for e in events if e["ph"] == "X")
+
+
+class TestWriteChromeTrace:
+    def test_writes_valid_json(self, tmp_path):
+        ctx = run_job()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(ctx.metrics, str(path))
+        assert count > 0
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == count

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("sort", "bdb", "ml", "wordcount", "whatif",
+                        "diagnose", "trace"):
+            args = parser.parse_args([command] if command != "bdb"
+                                     else ["bdb", "--query", "1a"])
+            assert args.command == command or command == "bdb"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--engine", "flink"])
+
+
+class TestCommands:
+    def test_sort(self, capsys):
+        code = main(["sort", "--machines", "2", "--fraction", "0.01",
+                     "--tasks", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sort (monospark)" in out
+        assert "stage" in out
+
+    def test_bdb(self, capsys):
+        code = main(["bdb", "--query", "1a", "--fraction", "0.01",
+                     "--machines", "2"])
+        assert code == 0
+        assert "BDB query 1a" in capsys.readouterr().out
+
+    def test_ml(self, capsys):
+        code = main(["ml", "--machines", "3", "--iterations", "1"])
+        assert code == 0
+        assert "iteration 0" in capsys.readouterr().out
+
+    def test_wordcount(self, capsys):
+        code = main(["wordcount", "--machines", "2", "--fraction", "0.01"])
+        assert code == 0
+        assert "word count" in capsys.readouterr().out
+
+    def test_whatif(self, capsys):
+        code = main(["whatif", "--machines", "2", "--fraction", "0.01",
+                     "--tasks", "32", "--new-disks", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "predicted" in out
+
+    def test_diagnose_healthy_exits_zero(self, capsys):
+        code = main(["diagnose", "--machines", "2", "--fraction", "0.01"])
+        assert code == 0
+        assert "slow disks: none" in capsys.readouterr().out
+
+    def test_diagnose_degraded_exits_nonzero(self, capsys):
+        code = main(["diagnose", "--machines", "4", "--fraction", "0.01",
+                     "--degrade-machine", "1", "--disk-factor", "0.3"])
+        assert code == 3
+        assert "slow disks: [1]" in capsys.readouterr().out
+
+    def test_trace_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--machines", "2", "--fraction", "0.01",
+                     "--output", str(out_path), "--timeline"])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["traceEvents"]
+        assert "wrote" in capsys.readouterr().out

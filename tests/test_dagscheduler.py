@@ -1,0 +1,171 @@
+"""Unit tests for lineage -> stage compilation."""
+
+import pytest
+
+from repro.api import (AnalyticsContext, CollectOutput, DfsInput, DfsOutput,
+                       LocalInput, ShuffleInput, ShuffleOutput)
+from repro.api.ops import CombineByKeyOp, FilterOp, MapOp, SortOp
+from repro.cluster import hdd_cluster
+from repro.config import MB
+from repro.datamodel import Partition
+from repro.errors import PlanError
+
+
+def make_ctx(machines=2, engine="monospark"):
+    return AnalyticsContext(hdd_cluster(num_machines=machines),
+                            engine=engine)
+
+
+def make_dfs_ctx(blocks=4, machines=2):
+    cluster = hdd_cluster(num_machines=machines)
+    payloads = [Partition.from_records([(i, i)], record_count=1,
+                                       data_bytes=MB) for i in range(blocks)]
+    cluster.dfs.create_file("input", payloads, [MB] * blocks)
+    return AnalyticsContext(cluster, engine="monospark")
+
+
+class TestNarrowCompilation:
+    def test_single_stage_from_parallelize(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(10), num_partitions=4).map(lambda x: x)
+        plan = ctx.compile(rdd)
+        assert len(plan.stages) == 1
+        stage = plan.stages[0]
+        assert stage.num_tasks == 4
+        assert all(isinstance(t.input, LocalInput) for t in stage.tasks)
+        assert all(isinstance(t.output, CollectOutput) for t in stage.tasks)
+        assert all(len(t.chain) == 1 for t in stage.tasks)
+
+    def test_narrow_ops_fused(self):
+        ctx = make_ctx()
+        rdd = (ctx.parallelize(range(10), num_partitions=2)
+               .map(lambda x: x).filter(lambda x: True).map(lambda x: x))
+        plan = ctx.compile(rdd)
+        assert len(plan.stages) == 1
+        assert len(plan.stages[0].tasks[0].chain) == 3
+
+    def test_dfs_input_with_locality(self):
+        ctx = make_dfs_ctx(blocks=4)
+        plan = ctx.compile(ctx.text_file("input"))
+        tasks = plan.stages[0].tasks
+        assert len(tasks) == 4
+        for task in tasks:
+            assert isinstance(task.input, DfsInput)
+            assert task.preferred_machines == task.input.block.machines()
+
+    def test_save_output_spec(self):
+        ctx = make_dfs_ctx()
+        plan = ctx.compile(ctx.text_file("input"),
+                           DfsOutput(file_name="out"))
+        assert all(isinstance(t.output, DfsOutput)
+                   for t in plan.stages[0].tasks)
+
+
+class TestShuffleCompilation:
+    def test_two_stage_job(self):
+        ctx = make_ctx()
+        rdd = (ctx.parallelize([("a", 1)] * 10, num_partitions=4)
+               .reduce_by_key(lambda a, b: a + b, num_partitions=3))
+        plan = ctx.compile(rdd)
+        assert len(plan.stages) == 2
+        map_stage, reduce_stage = plan.stages
+        assert map_stage.num_tasks == 4
+        assert reduce_stage.num_tasks == 3
+        assert reduce_stage.parent_stage_ids == [map_stage.stage_id]
+        assert isinstance(map_stage.tasks[0].output, ShuffleOutput)
+        # Map-side combine op appended to the map chain.
+        assert any(isinstance(op, CombineByKeyOp)
+                   for op in map_stage.tasks[0].chain)
+        reduce_input = reduce_stage.tasks[0].input
+        assert isinstance(reduce_input, ShuffleInput)
+        assert reduce_input.deps[0].num_maps == 4
+        # Reduce-side merge op leads the reduce chain.
+        assert isinstance(reduce_stage.tasks[0].chain[0], CombineByKeyOp)
+
+    def test_no_map_side_combine_for_sort(self):
+        ctx = make_ctx()
+        rdd = (ctx.parallelize([(i, i) for i in range(20)], num_partitions=2)
+               .sort_by_key(num_partitions=4))
+        plan = ctx.compile(rdd)
+        map_stage, reduce_stage = plan.stages
+        assert not any(isinstance(op, CombineByKeyOp)
+                       for op in map_stage.tasks[0].chain)
+        assert isinstance(reduce_stage.tasks[0].chain[0], SortOp)
+
+    def test_join_compiles_three_stages(self):
+        ctx = make_ctx()
+        left = ctx.parallelize([("a", 1)], num_partitions=2)
+        right = ctx.parallelize([("a", 2)], num_partitions=2)
+        plan = ctx.compile(left.join(right, num_partitions=2))
+        assert len(plan.stages) == 3
+        reduce_stage = plan.stages[-1]
+        deps = reduce_stage.tasks[0].input.deps
+        assert len(deps) == 2
+        assert {d.side for d in deps} == {0, 1}
+        assert deps[0].shuffle_id != deps[1].shuffle_id
+        assert reduce_stage.tasks[0].input.tagged
+
+    def test_chained_shuffles(self):
+        ctx = make_ctx()
+        rdd = (ctx.parallelize([("a", 1)] * 4, num_partitions=2)
+               .reduce_by_key(lambda a, b: a + b)
+               .map(lambda kv: (kv[1], kv[0]))
+               .group_by_key(num_partitions=2))
+        plan = ctx.compile(rdd)
+        assert len(plan.stages) == 3
+        # Parents precede children.
+        seen = set()
+        for stage in plan.stages:
+            assert all(p in seen for p in stage.parent_stage_ids)
+            seen.add(stage.stage_id)
+
+    def test_shuffle_ids_unique_across_jobs(self):
+        ctx = make_ctx()
+        rdd1 = ctx.parallelize([("a", 1)], num_partitions=1).group_by_key()
+        rdd2 = ctx.parallelize([("a", 1)], num_partitions=1).group_by_key()
+        plan1 = ctx.compile(rdd1)
+        plan2 = ctx.compile(rdd2)
+        sid1 = plan1.stages[0].tasks[0].output.shuffle_id
+        sid2 = plan2.stages[0].tasks[0].output.shuffle_id
+        assert sid1 != sid2
+
+
+class TestCacheCompilation:
+    def test_cache_spec_recorded(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(4), num_partitions=2).map(lambda x: x)
+        rdd.cache()
+        downstream = rdd.filter(lambda x: True)
+        plan = ctx.compile(downstream)
+        task = plan.stages[0].tasks[0]
+        assert task.cache is not None
+        assert task.cache.rdd_id == rdd.rdd_id
+        assert task.cache.after_ops == 1
+
+    def test_materialized_cache_short_circuits(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(range(8), num_partitions=2).map(lambda x: x + 1)
+        rdd.cache()
+        rdd.collect()  # materializes
+        plan = ctx.compile(rdd.filter(lambda x: x > 0))
+        task = plan.stages[0].tasks[0]
+        from repro.api.plan import CachedInput
+        assert isinstance(task.input, CachedInput)
+        assert len(task.chain) == 1  # only the filter
+
+    def test_two_cache_points_rejected(self):
+        ctx = make_ctx()
+        a = ctx.parallelize(range(4), num_partitions=1).map(lambda x: x)
+        a.cache()
+        b = a.map(lambda x: x)
+        b.cache()
+        with pytest.raises(PlanError):
+            ctx.compile(b.map(lambda x: x))
+
+
+class TestPlanValidation:
+    def test_compile_count_output(self):
+        ctx = make_ctx()
+        plan = ctx.compile(ctx.parallelize(range(4), num_partitions=2),
+                           CollectOutput(count_only=True))
+        assert plan.stages[0].tasks[0].output.count_only

@@ -1,0 +1,78 @@
+"""Extra compiler edge cases: self-joins, diamonds, repartition chains."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster
+
+ENGINES = ["spark", "monospark"]
+
+
+def ctx_for(engine="monospark"):
+    return AnalyticsContext(hdd_cluster(num_machines=2), engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestLineageShapes:
+    def test_self_join(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize([("a", 1), ("b", 2)], num_partitions=2)
+        out = sorted(rdd.join(rdd, num_partitions=2).collect())
+        assert out == [("a", (1, 1)), ("b", (2, 2))]
+
+    def test_diamond_reuses_shuffle_output(self, engine):
+        """Two consumers of one shuffled RDD share its map stage."""
+        ctx = ctx_for(engine)
+        base = (ctx.parallelize([("a", 1), ("b", 2), ("a", 3)],
+                                num_partitions=2)
+                .reduce_by_key(lambda a, b: a + b, num_partitions=2))
+        left = base.map_values(lambda v: v * 10)
+        right = base.map_values(lambda v: v + 1)
+        out = sorted(left.join(right, num_partitions=2).collect())
+        assert out == [("a", (40, 5)), ("b", (20, 3))]
+
+    def test_repartition_then_sort(self, engine):
+        ctx = ctx_for(engine)
+        out = (ctx.parallelize([(i % 7, i) for i in range(50)],
+                               num_partitions=3)
+               .repartition(6)
+               .sort_by_key(num_partitions=4,
+                            boundaries=[2, 4, 6])
+               .collect())
+        assert [k for k, _ in out] == sorted(i % 7 for i in range(50))
+
+    def test_join_after_union(self, engine):
+        ctx = ctx_for(engine)
+        left_a = ctx.parallelize([("x", 1)], num_partitions=1)
+        left_b = ctx.parallelize([("y", 2)], num_partitions=1)
+        right = ctx.parallelize([("x", "r1"), ("y", "r2")],
+                                num_partitions=2)
+        out = sorted(left_a.union(left_b)
+                     .join(right, num_partitions=2).collect())
+        assert out == [("x", (1, "r1")), ("y", (2, "r2"))]
+
+    def test_deep_narrow_chain(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize(range(10), num_partitions=2)
+        for _ in range(20):
+            rdd = rdd.map(lambda x: x + 1)
+        assert sorted(rdd.collect()) == [x + 20 for x in range(10)]
+        # Still a single stage: all twenty maps fused.
+        plan = ctx.compile(rdd)
+        assert len(plan.stages) == 1
+        assert len(plan.stages[0].tasks[0].chain) == 20
+
+
+class TestStageStructure:
+    def test_diamond_plan_has_shared_parent(self):
+        ctx = ctx_for()
+        base = (ctx.parallelize([("a", 1)], num_partitions=2)
+                .reduce_by_key(lambda a, b: a + b, num_partitions=2))
+        joined = base.join(base.map_values(lambda v: v), num_partitions=2)
+        plan = ctx.compile(joined)
+        # base's map stage compiled once per side of the join (sides have
+        # distinct shuffle ids) but base's own upstream is shared.
+        stage_ids = [s.stage_id for s in plan.stages]
+        assert len(stage_ids) == len(set(stage_ids))
+        final = plan.final_stage
+        assert len(final.tasks[0].input.deps) == 2

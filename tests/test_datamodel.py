@@ -1,0 +1,142 @@
+"""Unit tests for partitions, serialization costs, and the shuffle registry."""
+
+import pytest
+
+from repro.config import CostModel, MB
+from repro.datamodel import (COMPRESSED, DESERIALIZED, PLAIN, MapOutputRegistry,
+                             Partition, deserialize_seconds,
+                             estimate_record_bytes, serialize_seconds)
+from repro.errors import ShuffleError, SimulationError
+
+
+class TestPartition:
+    def test_from_records_measures_sizes(self):
+        part = Partition.from_records([(1, "ab"), (2, "cd")])
+        assert part.record_count == 2
+        assert part.data_bytes > 0
+
+    def test_explicit_modeled_sizes(self):
+        part = Partition.from_records([(1, 2)], record_count=1000,
+                                      data_bytes=64 * MB)
+        assert part.scale == 1000.0
+        assert part.mean_record_bytes == pytest.approx(64 * MB / 1000)
+
+    def test_empty_partition(self):
+        part = Partition.empty()
+        assert len(part) == 0
+        assert part.scale == 1.0
+        assert part.mean_record_bytes == 0.0
+
+    def test_merge_sums_modeled_sizes(self):
+        a = Partition.from_records([1], record_count=10, data_bytes=100)
+        b = Partition.from_records([2, 3], record_count=20, data_bytes=200)
+        merged = Partition.merge([a, b])
+        assert merged.records == [1, 2, 3]
+        assert merged.record_count == 30
+        assert merged.data_bytes == 300
+
+    def test_split_proportionally(self):
+        part = Partition.from_records([1, 2, 3, 4], record_count=400,
+                                      data_bytes=4000)
+        buckets = [[1], [2, 3, 4]]
+        parts = part.split_proportionally(buckets)
+        assert parts[0].record_count == pytest.approx(100)
+        assert parts[1].data_bytes == pytest.approx(3000)
+
+    def test_split_empty_records_divides_evenly(self):
+        part = Partition(records=[], record_count=100, data_bytes=1000)
+        parts = part.split_proportionally([[], []])
+        assert parts[0].data_bytes == pytest.approx(500)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            Partition(records=[], record_count=-1, data_bytes=0)
+
+
+class TestEstimateRecordBytes:
+    def test_primitives(self):
+        assert estimate_record_bytes(7) == 8.0
+        assert estimate_record_bytes(1.5) == 8.0
+        assert estimate_record_bytes(None) == 1.0
+        assert estimate_record_bytes(True) == 1.0
+        assert estimate_record_bytes("abcd") == 8.0
+
+    def test_containers_recursive(self):
+        assert estimate_record_bytes((1, 2)) == 8.0 + 16.0
+        assert estimate_record_bytes({"a": 1}) > 8.0
+
+    def test_custom_weight_attribute(self):
+        class Blob:
+            modeled_bytes = 4096
+
+        assert estimate_record_bytes(Blob()) == 4096.0
+
+
+class TestSerializationCosts:
+    def setup_method(self):
+        self.cost = CostModel()
+        self.part = Partition.from_records([1] * 10, record_count=1000,
+                                           data_bytes=10 * MB)
+
+    def test_deserialize_plain(self):
+        seconds = deserialize_seconds(self.part, PLAIN, self.cost)
+        expected = (self.cost.deserialize_s_per_byte * 10 * MB
+                    + self.cost.deserialize_s_per_record * 1000)
+        assert seconds == pytest.approx(expected)
+
+    def test_deserialized_format_is_free(self):
+        assert deserialize_seconds(self.part, DESERIALIZED, self.cost) == 0.0
+        assert serialize_seconds(self.part, DESERIALIZED, self.cost) == 0.0
+
+    def test_compressed_costs_more_cpu_but_fewer_bytes(self):
+        plain = deserialize_seconds(self.part, PLAIN, self.cost)
+        compressed = deserialize_seconds(self.part, COMPRESSED, self.cost)
+        assert compressed > plain
+        assert COMPRESSED.stored_bytes(10 * MB) == pytest.approx(5 * MB)
+
+    def test_serialize_symmetry(self):
+        seconds = serialize_seconds(self.part, PLAIN, self.cost)
+        assert seconds > 0
+
+
+class TestMapOutputRegistry:
+    def test_register_and_fetch(self):
+        registry = MapOutputRegistry()
+        registry.expect_maps(0, 2)
+        for map_index in range(2):
+            registry.register_map_output(
+                0, map_index, machine_id=map_index, disk_index=0,
+                buckets={0: Partition.from_records([map_index])})
+        buckets = registry.buckets_for_reduce(0, 0)
+        assert [b.map_index for b in buckets] == [0, 1]
+        assert buckets[0].machine_id == 0
+
+    def test_incomplete_shuffle_rejected(self):
+        registry = MapOutputRegistry()
+        registry.expect_maps(0, 3)
+        registry.register_map_output(0, 0, 0, 0, {})
+        with pytest.raises(ShuffleError):
+            registry.buckets_for_reduce(0, 0)
+
+    def test_unknown_shuffle_rejected(self):
+        registry = MapOutputRegistry()
+        with pytest.raises(ShuffleError):
+            registry.buckets_for_reduce(42, 0)
+
+    def test_total_shuffle_bytes(self):
+        registry = MapOutputRegistry()
+        registry.expect_maps(0, 1)
+        registry.register_map_output(0, 0, 0, None, {
+            0: Partition.from_records([], record_count=0, data_bytes=100),
+            1: Partition.from_records([], record_count=0, data_bytes=50),
+        })
+        assert registry.total_shuffle_bytes(0) == 150
+
+    def test_in_memory_bucket_flag(self):
+        registry = MapOutputRegistry()
+        registry.expect_maps(0, 1)
+        registry.register_map_output(0, 0, 3, None,
+                                     {0: Partition.from_records([1])})
+        bucket = registry.buckets_for_reduce(0, 0)[0]
+        assert bucket.in_memory
+        assert bucket.block_id == "shuffle0-m0-r0"

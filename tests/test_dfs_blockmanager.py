@@ -1,0 +1,110 @@
+"""Unit tests for the DFS block store and the cached-block manager."""
+
+import pytest
+
+from repro.cluster import Cluster, hdd_cluster
+from repro.cluster.blockmanager import BlockManager
+from repro.cluster.hdfs import Dfs
+from repro.config import MB
+from repro.datamodel import DESERIALIZED, Partition
+from repro.errors import ExecutionError, SimulationError
+
+
+class TestDfs:
+    def test_create_file_places_replicas(self):
+        dfs = Dfs(num_machines=5, disks_per_machine=2, replication=3)
+        f = dfs.create_file("data", [None] * 4, [64 * MB] * 4)
+        assert len(f.blocks) == 4
+        for block in f.blocks:
+            assert len(block.replicas) == 3
+            assert len(set(block.machines())) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        dfs = Dfs(num_machines=2, disks_per_machine=1, replication=3)
+        f = dfs.create_file("data", [None], [1])
+        assert len(f.blocks[0].replicas) == 2
+
+    def test_blocks_spread_over_machines(self):
+        dfs = Dfs(num_machines=4, disks_per_machine=2, replication=1)
+        f = dfs.create_file("data", [None] * 8, [1] * 8)
+        first_replicas = [block.replicas[0][0] for block in f.blocks]
+        assert set(first_replicas) == {0, 1, 2, 3}
+
+    def test_disk_on_and_missing_replica(self):
+        dfs = Dfs(num_machines=3, disks_per_machine=2, replication=1)
+        f = dfs.create_file("data", [None], [1])
+        block = f.blocks[0]
+        machine, disk = block.replicas[0]
+        assert block.disk_on(machine) == disk
+        with pytest.raises(ExecutionError):
+            block.disk_on(99)
+
+    def test_duplicate_file_rejected(self):
+        dfs = Dfs(num_machines=1, disks_per_machine=1)
+        dfs.create_file("x", [], [])
+        with pytest.raises(SimulationError):
+            dfs.create_file("x", [], [])
+
+    def test_output_file_appending(self):
+        dfs = Dfs(num_machines=2, disks_per_machine=2)
+        dfs.open_output_file("out")
+        dfs.append_output_block("out", 10 * MB, writer_machine=1,
+                                writer_disk=0)
+        f = dfs.get_file("out")
+        assert f.nbytes == 10 * MB
+        assert f.blocks[0].replicas == [(1, 0)]
+
+    def test_missing_file_rejected(self):
+        dfs = Dfs(num_machines=1, disks_per_machine=1)
+        with pytest.raises(ExecutionError):
+            dfs.get_file("nope")
+        with pytest.raises(ExecutionError):
+            dfs.append_output_block("nope", 1, 0, 0)
+
+    def test_exists_and_listing(self):
+        dfs = Dfs(num_machines=1, disks_per_machine=1)
+        dfs.create_file("b", [], [])
+        dfs.create_file("a", [], [])
+        assert dfs.exists("a")
+        assert not dfs.exists("c")
+        assert dfs.files() == ["a", "b"]
+
+
+class TestBlockManager:
+    def setup_method(self):
+        self.cluster = hdd_cluster(num_machines=3)
+        self.bm = BlockManager(self.cluster)
+        self.part = Partition.from_records([1, 2], record_count=2,
+                                           data_bytes=10 * MB)
+
+    def test_put_get_location(self):
+        self.bm.put(5, 0, machine_id=1, partition=self.part,
+                    fmt=DESERIALIZED)
+        assert self.bm.has(5, 0)
+        assert self.bm.location(5, 0) == 1
+        machine_id, part, fmt = self.bm.get(5, 0)
+        assert machine_id == 1
+        assert part.records == [1, 2]
+
+    def test_memory_accounting(self):
+        before = self.cluster.machine(1).memory.used
+        self.bm.put(5, 0, 1, self.part, DESERIALIZED)
+        assert self.cluster.machine(1).memory.used == before + 10 * MB
+        self.bm.evict_rdd(5)
+        assert self.cluster.machine(1).memory.used == before
+
+    def test_replace_releases_old(self):
+        self.bm.put(5, 0, 1, self.part, DESERIALIZED)
+        self.bm.put(5, 0, 2, self.part, DESERIALIZED)
+        assert self.cluster.machine(1).memory.used == 0
+        assert self.bm.location(5, 0) == 2
+
+    def test_missing_block_rejected(self):
+        with pytest.raises(ExecutionError):
+            self.bm.get(1, 0)
+        assert self.bm.location(1, 0) is None
+
+    def test_cached_bytes(self):
+        self.bm.put(5, 0, 0, self.part, DESERIALIZED)
+        self.bm.put(5, 1, 1, self.part, DESERIALIZED)
+        assert self.bm.cached_bytes() == 20 * MB

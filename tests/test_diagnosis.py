@@ -1,0 +1,88 @@
+"""Tests for straggler/degradation injection and diagnosis."""
+
+import pytest
+
+from repro import AnalyticsContext, MB, hdd_cluster
+from repro.api.ops import OpCost
+from repro.datamodel import Partition
+from repro.errors import ConfigError, ModelError
+from repro.model import diagnose_stragglers
+
+
+def make_ctx(machines=4, degrade=None, **degrade_kwargs):
+    cluster = hdd_cluster(num_machines=machines)
+    payloads = [Partition.from_records([(i, i)], record_count=1,
+                                       data_bytes=96 * MB)
+                for i in range(machines * 8)]
+    cluster.dfs.create_file("input", payloads,
+                            [96 * MB] * (machines * 8))
+    if degrade is not None:
+        cluster.degrade_machine(degrade, **degrade_kwargs)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    (ctx.text_file("input")
+        .map(lambda kv: kv, cost=OpCost(per_record_s=2.0), size_ratio=1.0)
+        .save_as_text_file("out"))
+    return ctx
+
+
+class TestDegradeMachine:
+    def test_cpu_degradation_slows_compute(self):
+        healthy = make_ctx(machines=2)
+        degraded_ctx = make_ctx(machines=2, degrade=0, cpu_factor=0.5)
+        assert (degraded_ctx.last_result.duration
+                > healthy.last_result.duration)
+
+    def test_disk_degradation_slows_io(self):
+        healthy = make_ctx(machines=2)
+        degraded_ctx = make_ctx(machines=2, degrade=0, disk_factor=0.3)
+        assert (degraded_ctx.last_result.duration
+                > healthy.last_result.duration)
+
+    def test_invalid_factors(self):
+        cluster = hdd_cluster(num_machines=1)
+        with pytest.raises(ConfigError):
+            cluster.degrade_machine(0, cpu_factor=0.0)
+
+
+class TestDiagnosis:
+    def test_healthy_cluster_reports_healthy(self):
+        ctx = make_ctx(machines=4)
+        report = diagnose_stragglers(ctx.metrics,
+                                     ctx.last_result.job_id)
+        assert report.healthy
+        assert len(report.machines) == 4
+        assert report.median_disk_bps is not None
+
+    def test_slow_disk_identified(self):
+        ctx = make_ctx(machines=4, degrade=2, disk_factor=0.3)
+        report = diagnose_stragglers(ctx.metrics,
+                                     ctx.last_result.job_id)
+        assert report.slow_disks == [2]
+        assert report.slow_cpus == []
+        # Observed rate reflects the injected degradation.
+        slow = report.machines[2].disk_bps
+        assert slow < 0.5 * report.median_disk_bps
+
+    def test_slow_cpu_identified(self):
+        ctx = make_ctx(machines=4, degrade=1, cpu_factor=0.4)
+        report = diagnose_stragglers(ctx.metrics,
+                                     ctx.last_result.job_id)
+        assert report.slow_cpus == [1]
+        assert report.machines[1].cpu_slowdown == pytest.approx(
+            1 / 0.4, rel=0.05)
+
+    def test_thresholds_validated(self):
+        ctx = make_ctx(machines=2)
+        with pytest.raises(ModelError):
+            diagnose_stragglers(ctx.metrics, ctx.last_result.job_id,
+                                disk_threshold=0.0)
+        with pytest.raises(ModelError):
+            diagnose_stragglers(ctx.metrics, ctx.last_result.job_id,
+                                cpu_threshold=0.5)
+
+    def test_spark_run_cannot_be_diagnosed(self):
+        cluster = hdd_cluster(num_machines=1)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        ctx.parallelize(range(4), num_partitions=2).count()
+        with pytest.raises(ModelError):
+            diagnose_stragglers(ctx.metrics, ctx.last_result.job_id)

@@ -1,0 +1,72 @@
+"""Meta test: every public item in the library is documented.
+
+Deliverable-level guarantee: public modules, classes, functions, and
+methods all carry doc comments.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+EXEMPT_METHOD_NAMES = {
+    # Self-explanatory dunder/protocol methods.
+    "__init__", "__repr__", "__len__", "__post_init__",
+}
+
+
+def _public_modules():
+    modules = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def _owned_by(module, obj):
+    return getattr(obj, "__module__", None) == module.__name__
+
+
+class TestDocstrings:
+    def test_every_module_has_a_docstring(self):
+        undocumented = [module.__name__ for module in _public_modules()
+                        if not inspect.getdoc(module)]
+        assert not undocumented, f"undocumented modules: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in _public_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not _owned_by(module, obj):
+                    continue
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented items: {undocumented}"
+
+    def test_every_public_method_documented(self):
+        undocumented = []
+        for module in _public_modules():
+            for cls_name, cls in vars(module).items():
+                if (cls_name.startswith("_") or not inspect.isclass(cls)
+                        or not _owned_by(module, cls)):
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_") and name not in ("__init__",):
+                        continue
+                    if name in EXEMPT_METHOD_NAMES:
+                        continue
+                    if isinstance(member, property):
+                        member = member.fget
+                    if not inspect.isfunction(member):
+                        continue
+                    if not inspect.getdoc(member):
+                        undocumented.append(
+                            f"{module.__name__}.{cls_name}.{name}")
+        assert not undocumented, (
+            f"{len(undocumented)} undocumented methods, e.g. "
+            f"{undocumented[:15]}")

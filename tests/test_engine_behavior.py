@@ -1,0 +1,203 @@
+"""Behavioral tests: the mechanisms behind the paper's results.
+
+These check the *shape* claims the benchmarks rely on: MonoSpark loses
+with one wave of tasks but catches up with several (Fig 8), per-resource
+scheduling avoids HDD seek contention (§5.4), buffered writes give Spark
+an edge that write-through removes (§5.3 / Fig 5 query 1c), and
+MonoSpark emits complete monotask records while using more memory
+(§3.5).
+"""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.api.ops import OpCost
+from repro.cluster import hdd_cluster
+from repro.config import MB, GB
+from repro.datamodel import Partition
+from repro.metrics.events import (CPU, DISK, NETWORK, PHASE_COMPUTE,
+                                  PHASE_INPUT_READ)
+
+
+def make_input(cluster, blocks, block_mb=64, records_per_block=20,
+               name="input"):
+    payloads = []
+    for b in range(blocks):
+        records = [(b * records_per_block + i, i)
+                   for i in range(records_per_block)]
+        payloads.append(Partition.from_records(
+            records, record_count=records_per_block,
+            data_bytes=block_mb * MB))
+    cluster.dfs.create_file(name, payloads, [block_mb * MB] * blocks)
+
+
+def read_compute_job(ctx, cpu_s_per_block, block_records=20):
+    per_record = cpu_s_per_block / block_records
+    return (ctx.text_file("input")
+            .map(lambda kv: kv, cost=OpCost(per_record_s=per_record),
+                 size_ratio=1.0)
+            .count())
+
+
+def run_read_compute(engine, machines, blocks, cpu_s_per_block=1.0):
+    cluster = hdd_cluster(num_machines=machines)
+    make_input(cluster, blocks)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    read_compute_job(ctx, cpu_s_per_block)
+    return ctx.last_result.duration, ctx
+
+
+class TestWaveEffect:
+    """Fig 8: one wave favors Spark; several waves reach parity."""
+
+    def test_single_wave_spark_wins(self):
+        # Compute-heavy, as in Fig 8 ("reads input data and then computes
+        # on it"): with one wave there is nothing for MonoSpark to
+        # pipeline reads against, so the serialized read+compute loses.
+        cores_total = 2 * 8
+        spark, _ = run_read_compute("spark", machines=2, blocks=cores_total,
+                                    cpu_s_per_block=3.0)
+        mono, _ = run_read_compute("monospark", machines=2,
+                                   blocks=cores_total, cpu_s_per_block=3.0)
+        assert spark < mono
+
+    def test_many_waves_mono_catches_up(self):
+        blocks = 2 * 8 * 6  # six waves
+        spark, _ = run_read_compute("spark", machines=2, blocks=blocks,
+                                    cpu_s_per_block=3.0)
+        mono, _ = run_read_compute("monospark", machines=2, blocks=blocks,
+                                   cpu_s_per_block=3.0)
+        assert mono <= spark * 1.15
+
+
+class TestDiskContention:
+    """§5.4: per-disk scheduling doubles HDD throughput under load."""
+
+    def run_disk_bound(self, engine):
+        # Mixed reads and writes on the same disks (the §5.4 scenario):
+        # Spark's tasks interleave both at fine granularity while the
+        # flusher writes back, whereas MonoSpark's per-disk scheduler
+        # runs one large monotask at a time.
+        cluster = hdd_cluster(num_machines=1,
+                              buffer_cache_bytes=256 * MB,
+                              dirty_background_bytes=64 * MB)
+        make_input(cluster, blocks=16, block_mb=128)
+        ctx = AnalyticsContext(cluster, engine=engine)
+        ctx.text_file("input").save_as_text_file("out")
+        return ctx
+
+    def test_monospark_avoids_seek_storm(self):
+        spark_ctx = self.run_disk_bound("spark")
+        mono_ctx = self.run_disk_bound("monospark")
+        spark_time = spark_ctx.last_result.duration
+        mono_time = mono_ctx.last_result.duration
+        # Spark's 8 concurrent tasks interleave on 2 disks and pay seeks;
+        # MonoSpark reads sequentially, one monotask per disk.
+        assert mono_time < spark_time * 0.75
+        spark_seeks = sum(d.seeks for m in spark_ctx.cluster.machines
+                          for d in m.disks)
+        mono_seeks = sum(d.seeks for m in mono_ctx.cluster.machines
+                         for d in m.disks)
+        assert mono_seeks < spark_seeks / 5
+
+
+class TestBufferCacheAdvantage:
+    """§5.3: Spark leaves writes in the buffer cache; MonoSpark flushes."""
+
+    def run_write_heavy(self, engine, **options):
+        # Small read, 4x write amplification: the write path dominates,
+        # as in Big Data Benchmark query 1c (§5.3).
+        cluster = hdd_cluster(num_machines=1)
+        make_input(cluster, blocks=8, block_mb=16)
+        ctx = AnalyticsContext(cluster, engine=engine, **options)
+        (ctx.text_file("input")
+            .map(lambda kv: kv, size_ratio=4.0)
+            .save_as_text_file("out"))
+        return ctx.last_result.duration
+
+    def test_buffered_spark_beats_monospark_on_writes(self):
+        spark = self.run_write_heavy("spark")
+        mono = self.run_write_heavy("monospark")
+        assert spark < mono
+
+    def test_write_through_spark_loses_the_edge(self):
+        flushed = self.run_write_heavy("spark", flush_writes=True)
+        buffered = self.run_write_heavy("spark")
+        mono = self.run_write_heavy("monospark")
+        assert flushed > buffered
+        # Once Spark also pays for the writes, MonoSpark is comparable.
+        assert mono <= flushed * 1.15
+
+
+class TestMonotaskRecords:
+    """§6.1: monotask self-reports cover every resource the job used."""
+
+    def run_shuffle_job(self):
+        cluster = hdd_cluster(num_machines=2)
+        make_input(cluster, blocks=8, block_mb=32)
+        ctx = AnalyticsContext(cluster, engine="monospark")
+        (ctx.text_file("input")
+            .map(lambda kv: (kv[0] % 7, 1), size_ratio=1.0)
+            .reduce_by_key(lambda a, b: a + b, num_partitions=4)
+            .collect())
+        return ctx
+
+    def test_all_resources_reported(self):
+        ctx = self.run_shuffle_job()
+        records = ctx.metrics.monotasks
+        resources = {r.resource for r in records}
+        assert {CPU, DISK, NETWORK} <= resources
+
+    def test_input_read_bytes_match_file(self):
+        ctx = self.run_shuffle_job()
+        job_id = ctx.last_result.job_id
+        input_bytes = sum(
+            r.nbytes for r in ctx.metrics.monotasks
+            if r.job_id == job_id and r.resource == DISK
+            and r.phase == PHASE_INPUT_READ)
+        assert input_bytes == pytest.approx(8 * 32 * MB, rel=0.01)
+
+    def test_compute_monotasks_split_phases(self):
+        ctx = self.run_shuffle_job()
+        computes = [r for r in ctx.metrics.monotasks
+                    if r.resource == CPU and r.phase == PHASE_COMPUTE]
+        assert computes
+        for record in computes:
+            assert record.duration == pytest.approx(
+                record.deserialize_s + record.op_s + record.serialize_s)
+        assert any(r.deserialize_s > 0 for r in computes)
+
+    def test_monotask_windows_within_task_windows(self):
+        ctx = self.run_shuffle_job()
+        for record in ctx.metrics.monotasks:
+            assert record.end >= record.start
+            assert record.queue_s >= 0
+
+
+class TestMemoryFootprint:
+    """§3.5: MonoSpark materializes whole partitions; Spark streams."""
+
+    def peak_memory(self, engine):
+        cluster = hdd_cluster(num_machines=1)
+        make_input(cluster, blocks=8, block_mb=128)
+        ctx = AnalyticsContext(cluster, engine=engine)
+        read_compute_job(ctx, cpu_s_per_block=0.1)
+        return max(m.memory.peak for m in cluster.machines)
+
+    def test_monospark_uses_more_memory(self):
+        assert self.peak_memory("monospark") > self.peak_memory("spark")
+
+
+class TestDeterminism:
+    def test_same_seed_same_timing(self):
+        durations = []
+        for _ in range(2):
+            cluster = hdd_cluster(num_machines=2, seed=5)
+            make_input(cluster, blocks=12)
+            ctx = AnalyticsContext(cluster, engine="monospark")
+            (ctx.text_file("input")
+                .map(lambda kv: (kv[0] % 3, 1), size_ratio=1.0)
+                .reduce_by_key(lambda a, b: a + b, num_partitions=4)
+                .collect())
+            durations.append(ctx.last_result.duration)
+        assert durations[0] == durations[1]

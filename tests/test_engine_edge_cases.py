@@ -1,0 +1,116 @@
+"""Edge cases and failure handling across the execution stack."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster
+from repro.config import MB
+from repro.datamodel import Partition
+from repro.errors import ConfigError, ExecutionError
+
+ENGINES = ["spark", "monospark"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEdgeCases:
+    def test_single_record_job(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1), engine=engine)
+        assert ctx.parallelize([42], num_partitions=1).collect() == [42]
+
+    def test_more_partitions_than_records(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1), engine=engine)
+        out = ctx.parallelize([1, 2], num_partitions=8).collect()
+        assert sorted(out) == [1, 2]
+
+    def test_empty_partitions_through_shuffle(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1), engine=engine)
+        out = (ctx.parallelize([("k", 1)], num_partitions=4)
+               .reduce_by_key(lambda a, b: a + b, num_partitions=4)
+               .collect())
+        assert out == [("k", 1)]
+
+    def test_skewed_keys_single_reducer_bucket(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=2), engine=engine)
+        pairs = [("hot", 1)] * 100
+        out = (ctx.parallelize(pairs, num_partitions=4)
+               .reduce_by_key(lambda a, b: a + b, num_partitions=8)
+               .collect())
+        assert out == [("hot", 100)]
+
+    def test_task_exception_propagates(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1), engine=engine)
+        rdd = ctx.parallelize([1, 0], num_partitions=1).map(
+            lambda x: 1 // x)
+        with pytest.raises(ZeroDivisionError):
+            rdd.collect()
+
+    def test_zero_byte_dfs_block(self, engine):
+        cluster = hdd_cluster(num_machines=1)
+        cluster.dfs.create_file(
+            "empty", [Partition.empty(), Partition.empty()], [0.0, 0.0])
+        ctx = AnalyticsContext(cluster, engine=engine)
+        assert ctx.text_file("empty").collect() == []
+
+    def test_job_after_failed_job(self, engine):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1), engine=engine)
+        bad = ctx.parallelize([0], num_partitions=1).map(lambda x: 1 // x)
+        with pytest.raises(ZeroDivisionError):
+            bad.collect()
+        # The context must remain usable.
+        assert ctx.parallelize([5], num_partitions=1).collect() == [5]
+
+
+class TestConfigValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            AnalyticsContext(hdd_cluster(num_machines=1), engine="flink")
+
+    def test_engine_instance_with_options_rejected(self):
+        from repro.spark.engine import SparkEngine
+        cluster = hdd_cluster(num_machines=1)
+        engine = SparkEngine(cluster)
+        with pytest.raises(ConfigError):
+            AnalyticsContext(cluster, engine=engine, flush_writes=True)
+
+    def test_invalid_spark_options(self):
+        from repro.spark.engine import SparkEngine
+        with pytest.raises(ConfigError):
+            SparkEngine(hdd_cluster(num_machines=1), slots_per_machine=0)
+        with pytest.raises(ConfigError):
+            SparkEngine(hdd_cluster(num_machines=1), chunk_bytes=0)
+
+    def test_invalid_mono_options(self):
+        from repro.monospark.engine import MonoSparkEngine
+        with pytest.raises(ConfigError):
+            MonoSparkEngine(hdd_cluster(num_machines=1), network_limit=0)
+        with pytest.raises(ConfigError):
+            MonoSparkEngine(hdd_cluster(num_machines=1), ssd_outstanding=0)
+        with pytest.raises(ConfigError):
+            MonoSparkEngine(hdd_cluster(num_machines=1),
+                            extra_multitasks=-1)
+
+    def test_parallelize_invalid_partitions(self):
+        ctx = AnalyticsContext(hdd_cluster(num_machines=1))
+        with pytest.raises(ConfigError):
+            ctx.parallelize([1], num_partitions=0)
+
+
+class TestRemoteReads:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_non_local_task_reads_over_network(self, engine):
+        # Pin every block's sole replica to machine 0: the other three
+        # machines' slots must fetch their blocks remotely.
+        cluster = hdd_cluster(num_machines=4, replication=1)
+        n = 24  # more blocks than machine 0 has execution slots
+        payloads = [Partition.from_records([(i, i)], record_count=1,
+                                           data_bytes=32 * MB)
+                    for i in range(n)]
+        dfs_file = cluster.dfs.create_file("input", payloads, [32 * MB] * n)
+        for block in dfs_file.blocks:
+            block.replicas = [(0, 0)]
+        ctx = AnalyticsContext(cluster, engine=engine)
+        out = ctx.text_file("input").collect()
+        assert len(out) == n
+        assert cluster.network.bytes_transferred > 0
+        # Remote reads hit machine 0's disk, not the reader's.
+        assert cluster.machine(0).disks[0].bytes_read > 0

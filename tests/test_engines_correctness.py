@@ -1,0 +1,205 @@
+"""Integration tests: both engines compute *correct results*.
+
+The same logical jobs run on the Spark-style engine and on MonoSpark and
+must produce identical records -- the paper's API-compatibility claim
+(§4) in executable form.
+"""
+
+import random
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster, ssd_cluster
+from repro.config import MB
+from repro.datamodel import Partition
+
+ENGINES = ["spark", "monospark"]
+
+
+def fresh_ctx(engine, machines=2, **options):
+    return AnalyticsContext(hdd_cluster(num_machines=machines),
+                            engine=engine, **options)
+
+
+def dfs_ctx(engine, blocks=6, records_per_block=50, machines=3, seed=1):
+    cluster = hdd_cluster(num_machines=machines)
+    rng = random.Random(seed)
+    payloads = []
+    for b in range(blocks):
+        records = [(rng.randint(0, 999), f"v{b}")
+                   for _ in range(records_per_block)]
+        payloads.append(Partition.from_records(
+            records, record_count=records_per_block, data_bytes=32 * MB))
+    cluster.dfs.create_file("input", payloads, [32 * MB] * blocks)
+    return AnalyticsContext(cluster, engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestBasicActions:
+    def test_word_count(self, engine):
+        ctx = fresh_ctx(engine)
+        lines = ["the quick brown fox", "the lazy dog", "the fox"]
+        out = (ctx.parallelize(lines, num_partitions=2)
+               .flat_map(str.split)
+               .map(lambda w: (w, 1))
+               .reduce_by_key(lambda a, b: a + b)
+               .collect())
+        assert dict(out) == {"the": 3, "quick": 1, "brown": 1, "fox": 2,
+                             "lazy": 1, "dog": 1}
+
+    def test_count(self, engine):
+        ctx = fresh_ctx(engine)
+        n = ctx.parallelize(range(100), num_partitions=4).count()
+        assert n == 100
+
+    def test_filter_map_pipeline(self, engine):
+        ctx = fresh_ctx(engine)
+        out = (ctx.parallelize(range(20), num_partitions=3)
+               .filter(lambda x: x % 2 == 0)
+               .map(lambda x: x * 10)
+               .collect())
+        assert sorted(out) == [x * 10 for x in range(0, 20, 2)]
+
+    def test_group_by_key(self, engine):
+        ctx = fresh_ctx(engine)
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        out = (ctx.parallelize(pairs, num_partitions=2)
+               .group_by_key(num_partitions=2).collect())
+        grouped = {k: sorted(v) for k, v in out}
+        assert grouped == {"a": [1, 3], "b": [2, 5], "c": [4]}
+
+    def test_join(self, engine):
+        ctx = fresh_ctx(engine)
+        left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)],
+                               num_partitions=2)
+        right = ctx.parallelize([("a", "x"), ("c", "y")], num_partitions=2)
+        out = left.join(right, num_partitions=2).collect()
+        assert sorted(out) == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_sort_by_key_global_order(self, engine):
+        ctx = fresh_ctx(engine)
+        rng = random.Random(7)
+        pairs = [(rng.randint(0, 10000), i) for i in range(200)]
+        out = (ctx.parallelize(pairs, num_partitions=4)
+               .sort_by_key(num_partitions=4).collect())
+        keys = [k for k, _ in out]
+        assert keys == sorted(k for k, _ in pairs)
+
+    def test_empty_result(self, engine):
+        ctx = fresh_ctx(engine)
+        out = (ctx.parallelize(range(10), num_partitions=2)
+               .filter(lambda x: False).collect())
+        assert out == []
+
+    def test_sequential_jobs_share_context(self, engine):
+        ctx = fresh_ctx(engine)
+        rdd = ctx.parallelize(range(10), num_partitions=2)
+        assert rdd.count() == 10
+        assert sorted(rdd.collect()) == list(range(10))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDfsJobs:
+    def test_read_filter_collect(self, engine):
+        ctx = dfs_ctx(engine)
+        out = (ctx.text_file("input")
+               .filter(lambda kv: kv[0] < 500).collect())
+        assert all(k < 500 for k, _ in out)
+        assert len(out) > 0
+
+    def test_save_creates_blocks(self, engine):
+        ctx = dfs_ctx(engine, blocks=4)
+        ctx.text_file("input").save_as_text_file("out")
+        out_file = ctx.cluster.dfs.get_file("out")
+        assert len(out_file.blocks) == 4
+        assert out_file.nbytes == pytest.approx(4 * 32 * MB, rel=0.01)
+
+    def test_dfs_sort_matches_reference(self, engine):
+        ctx = dfs_ctx(engine, blocks=4, records_per_block=30)
+        out = ctx.text_file("input").sort_by_key(num_partitions=4).collect()
+        reference = sorted(
+            record
+            for block in ctx.cluster.dfs.get_file("input").blocks
+            for record in block.payload.records)
+        assert [k for k, _ in out] == [k for k, _ in reference]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestCaching:
+    def test_cached_rdd_reused(self, engine):
+        ctx = fresh_ctx(engine)
+        rdd = ctx.parallelize(range(50), num_partitions=4).map(
+            lambda x: x * 2)
+        rdd.cache()
+        first = sorted(rdd.collect())
+        second = sorted(rdd.collect())
+        assert first == second == [x * 2 for x in range(50)]
+        # Second run reads the cache: its plan has no LocalInput tasks.
+        plan = ctx.compile(rdd)
+        from repro.api.plan import CachedInput
+        assert all(isinstance(t.input, CachedInput)
+                   for t in plan.stages[0].tasks)
+
+    def test_cache_then_downstream_job(self, engine):
+        ctx = fresh_ctx(engine)
+        base = ctx.parallelize(range(20), num_partitions=2)
+        doubled = base.map(lambda x: x * 2)
+        doubled.cache()
+        doubled.collect()
+        out = doubled.filter(lambda x: x >= 20).collect()
+        assert sorted(out) == [x * 2 for x in range(10, 20)]
+
+
+class TestEngineEquivalence:
+    """The two engines must agree on results for a battery of jobs."""
+
+    def run_both(self, build):
+        results = {}
+        for engine in ENGINES:
+            ctx = dfs_ctx(engine, seed=3)
+            results[engine] = build(ctx)
+        return results
+
+    def test_aggregation_job(self):
+        def job(ctx):
+            return sorted(
+                ctx.text_file("input")
+                .map(lambda kv: (kv[0] % 10, 1))
+                .reduce_by_key(lambda a, b: a + b, num_partitions=3)
+                .collect())
+
+        results = self.run_both(job)
+        assert results["spark"] == results["monospark"]
+
+    def test_multi_stage_job(self):
+        def job(ctx):
+            return sorted(
+                ctx.text_file("input")
+                .map(lambda kv: (kv[0] % 5, kv[0]))
+                .reduce_by_key(lambda a, b: a + b, num_partitions=2)
+                .map(lambda kv: (kv[1] % 3, kv[0]))
+                .group_by_key(num_partitions=2)
+                .map(lambda kv: (kv[0], sorted(kv[1])))
+                .collect())
+
+        results = self.run_both(job)
+        assert results["spark"] == results["monospark"]
+
+
+class TestConcurrentJobs:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_two_jobs_share_cluster(self, engine):
+        ctx = fresh_ctx(engine, machines=2)
+        rdd1 = (ctx.parallelize([("a", 1)] * 40, num_partitions=4)
+                .reduce_by_key(lambda a, b: a + b, num_partitions=2))
+        rdd2 = (ctx.parallelize([("b", 2)] * 40, num_partitions=4)
+                .reduce_by_key(lambda a, b: a + b, num_partitions=2))
+        from repro.api.plan import CollectOutput
+        plans = [ctx.compile(rdd1, CollectOutput(), name="job1"),
+                 ctx.compile(rdd2, CollectOutput(), name="job2")]
+        results = ctx.run_jobs(plans)
+        assert results[0].all_records() == [("a", 40)]
+        assert results[1].all_records() == [("b", 80)]
+        # Concurrent: their execution windows overlap.
+        assert results[0].start == results[1].start

@@ -1,0 +1,37 @@
+"""Smoke tests: the runnable examples actually run.
+
+Only the fast examples run here (the sweep-style ones take minutes and
+are exercised by the benchmarks instead).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, capsys):
+    runpy.run_module(f"examples.{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(".")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "monospark" in out
+        assert "Monotask self-reports" in out
+
+    def test_ml_pipeline(self, capsys):
+        out = run_example("ml_pipeline", capsys)
+        assert "iterations" in out
+        assert "0 disk bytes" in out
+
+    def test_bottleneck_debugging(self, capsys):
+        out = run_example("bottleneck_debugging", capsys)
+        assert "bottleneck = cpu" in out
+        assert "execution timeline" in out

@@ -1,0 +1,42 @@
+"""Memory lifecycle tests: nothing leaks across jobs."""
+
+import pytest
+
+from repro.cluster import ssd_cluster, hdd_cluster
+from repro.workloads.ml import MlWorkload, make_ml_context, run_ml_workload
+
+
+class TestInMemoryShuffleLifecycle:
+    def test_ml_iterations_release_shuffle_memory(self):
+        """Each iteration's in-memory shuffle is freed when its job ends:
+        memory does not creep upward across iterations."""
+        cluster = ssd_cluster(num_machines=4)
+        ctx = make_ml_context(cluster, "monospark",
+                              MlWorkload(num_row_blocks=16))
+        run_ml_workload(ctx, iterations=1)
+        used_after_one = sum(m.memory.used for m in cluster.machines)
+        run_ml_workload(ctx, iterations=3)
+        used_after_four = sum(m.memory.used for m in cluster.machines)
+        # The cached matrix stays; per-iteration shuffle data does not.
+        assert used_after_four == pytest.approx(used_after_one, rel=0.01)
+
+    @pytest.mark.parametrize("engine", ["spark", "monospark"])
+    def test_memory_returns_to_baseline_after_jobs(self, engine):
+        cluster = hdd_cluster(num_machines=2)
+        from repro.api import AnalyticsContext
+        ctx = AnalyticsContext(cluster, engine=engine)
+        for _ in range(3):
+            (ctx.parallelize(range(100), num_partitions=8)
+                .map(lambda x: (x % 5, 1))
+                .reduce_by_key(lambda a, b: a + b)
+                .collect())
+        # No cached RDDs, no in-memory shuffles: usage returns to zero.
+        assert all(m.memory.used == pytest.approx(0.0, abs=1.0)
+                   for m in cluster.machines)
+
+    def test_peak_memory_recorded(self):
+        cluster = ssd_cluster(num_machines=2)
+        ctx = make_ml_context(cluster, "monospark",
+                              MlWorkload(num_row_blocks=8))
+        run_ml_workload(ctx, iterations=1)
+        assert any(m.memory.peak > 0 for m in cluster.machines)

@@ -1,0 +1,205 @@
+"""Unit and integration tests for the §6 performance model."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster, ssd_cluster
+from repro.config import GB, MB
+from repro.errors import ModelError
+from repro.metrics.events import CPU, DISK, NETWORK, PHASE_INPUT_READ
+from repro.model import (HardwareProfile, StageProfile, WhatIf,
+                         analyze_bottlenecks, hardware_profile,
+                         model_job_seconds, model_stage, predict,
+                         profile_job, slot_model_prediction)
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+
+HW = HardwareProfile(num_machines=10, cores_per_machine=8,
+                     disks_per_machine=2, disk_throughput_bps=100 * MB,
+                     network_bps=125 * MB)
+
+
+def profile(compute_s=0.0, disk_bytes=None, network_bytes=0.0,
+            duration=100.0, input_deser=0.0):
+    return StageProfile(job_id=0, stage_id=0, name="s",
+                        measured_duration_s=duration, compute_s=compute_s,
+                        deserialize_s=input_deser,
+                        input_deserialize_s=input_deser,
+                        disk_bytes=disk_bytes or {}, network_bytes=network_bytes)
+
+
+class TestStageModel:
+    def test_ideal_cpu_time(self):
+        model = model_stage(profile(compute_s=800.0), HW)
+        assert model.ideal_cpu_s == pytest.approx(10.0)  # 800 / 80 cores
+
+    def test_ideal_disk_time(self):
+        model = model_stage(
+            profile(disk_bytes={PHASE_INPUT_READ: 20 * 100 * MB * 10}), HW)
+        # 20,000 MB over 20 disks x 100 MB/s = 10 s.
+        assert model.ideal_disk_s == pytest.approx(10.0)
+
+    def test_ideal_network_time(self):
+        model = model_stage(profile(network_bytes=1250 * MB * 10), HW)
+        assert model.ideal_network_s == pytest.approx(10.0)
+
+    def test_stage_time_is_max(self):
+        model = model_stage(
+            profile(compute_s=800.0, network_bytes=125 * MB), HW)
+        assert model.ideal_completion_s == model.ideal_cpu_s
+        assert model.bottleneck == CPU
+
+    def test_without_resource(self):
+        model = model_stage(
+            profile(compute_s=800.0,
+                    disk_bytes={"x": 2 * 100 * MB * 20}), HW)
+        assert model.without(CPU) == pytest.approx(model.ideal_disk_s)
+        with pytest.raises(ModelError):
+            model.without("gpu")
+
+    def test_job_is_sum_of_stages(self):
+        stages = [profile(compute_s=800.0), profile(compute_s=1600.0)]
+        assert model_job_seconds(stages, HW) == pytest.approx(30.0)
+
+
+class TestHardwareProfile:
+    def test_aggregates(self):
+        assert HW.total_cores == 80
+        assert HW.aggregate_disk_bps == 20 * 100 * MB
+        assert HW.aggregate_network_bps == 10 * 125 * MB
+
+    def test_scaled(self):
+        doubled = HW.scaled(disks_per_machine=4)
+        assert doubled.aggregate_disk_bps == 2 * HW.aggregate_disk_bps
+        assert doubled.total_cores == HW.total_cores
+
+    def test_from_cluster(self):
+        hw = hardware_profile(hdd_cluster(num_machines=4))
+        assert hw.num_machines == 4
+        assert hw.disks_per_machine == 2
+
+
+class TestWhatIf:
+    def test_hardware_change_scales_prediction(self):
+        profiles = [profile(disk_bytes={"all": 4000 * MB * 100},
+                            duration=250.0)]
+        what_if = WhatIf(hardware=HW.scaled(disks_per_machine=4))
+        prediction = predict(profiles, measured_s=250.0,
+                             current_hardware=HW, what_if=what_if)
+        # Purely disk-bound: doubling disks should halve the runtime.
+        assert prediction.predicted_s == pytest.approx(125.0)
+
+    def test_cpu_bound_job_ignores_disk_change(self):
+        profiles = [profile(compute_s=8000.0,
+                            disk_bytes={"all": 100 * MB}, duration=120.0)]
+        what_if = WhatIf(hardware=HW.scaled(disks_per_machine=4))
+        prediction = predict(profiles, 120.0, HW, what_if)
+        assert prediction.predicted_s == pytest.approx(120.0)
+
+    def test_in_memory_removes_input_read_and_deser(self):
+        profiles = [StageProfile(
+            job_id=0, stage_id=0, name="map", measured_duration_s=100.0,
+            compute_s=4000.0, deserialize_s=2000.0,
+            input_deserialize_s=2000.0,
+            disk_bytes={PHASE_INPUT_READ: 200 * 100 * MB * 20})]
+        prediction = predict(profiles, 100.0, HW,
+                             WhatIf(input_in_memory_deserialized=True))
+        new = prediction.stage_models_new[0]
+        assert new.ideal_disk_s == 0.0
+        assert new.ideal_cpu_s == pytest.approx(2000.0 / 80)
+
+    def test_in_memory_ignores_non_input_stages(self):
+        reduce_profile = profile(compute_s=4000.0,
+                                 disk_bytes={"shuffle_read": 100 * MB})
+        prediction = predict([reduce_profile], 100.0, HW,
+                             WhatIf(input_in_memory_deserialized=True))
+        assert (prediction.stage_models_new[0].ideal_cpu_s
+                == prediction.stage_models_old[0].ideal_cpu_s)
+
+    def test_error_vs(self):
+        profiles = [profile(compute_s=8000.0, duration=100.0)]
+        prediction = predict(profiles, 100.0, HW, WhatIf())
+        assert prediction.error_vs(100.0) == pytest.approx(0.0)
+        assert prediction.error_vs(80.0) == pytest.approx(0.25)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ModelError):
+            predict([], 100.0, HW, WhatIf())
+
+
+class TestBottlenecks:
+    def test_report_fields(self):
+        profiles = [
+            profile(compute_s=8000.0, disk_bytes={"a": 4000 * MB * 20},
+                    network_bytes=100 * MB),
+            profile(compute_s=800.0, disk_bytes={"a": 8000 * MB * 20}),
+        ]
+        profiles[1].stage_id = 1
+        report = analyze_bottlenecks(profiles, measured_s=200.0, hardware=HW)
+        assert report.stage_bottlenecks[0] == CPU
+        assert report.stage_bottlenecks[1] == DISK
+        assert 0 < report.speedup_fraction(CPU) < 1
+        assert report.predicted_runtime_without(NETWORK) <= 200.0
+
+    def test_job_bottleneck(self):
+        profiles = [profile(compute_s=16000.0,
+                            disk_bytes={"a": 100 * MB})]
+        report = analyze_bottlenecks(profiles, 100.0, HW)
+        assert report.job_bottleneck == CPU
+
+
+class TestSlotModel:
+    def test_scaling(self):
+        assert slot_model_prediction(10.0, 8, 16) == pytest.approx(5.0)
+        assert slot_model_prediction(10.0, 8, 4) == pytest.approx(20.0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ModelError):
+            slot_model_prediction(10.0, 0, 4)
+
+
+class TestEndToEndModel:
+    """profile_job on a real MonoSpark run, and a real what-if."""
+
+    def run_sort_on(self, machines, disks, values=25, total=6 * GB,
+                    maps=96):
+        cluster = hdd_cluster(num_machines=machines, num_disks=disks,
+                              **scaled_memory_overrides(0.01))
+        workload = SortWorkload(total_bytes=total, values_per_key=values,
+                                num_map_tasks=maps)
+        generate_sort_input(cluster, workload)
+        ctx = AnalyticsContext(cluster, engine="monospark")
+        result = run_sort(ctx, workload)
+        return ctx, result
+
+    def test_profile_job_accounts_all_bytes(self):
+        ctx, result = self.run_sort_on(machines=4, disks=2)
+        profiles = profile_job(ctx.metrics, result.job_id)
+        assert len(profiles) == 2
+        total_disk = sum(p.total_disk_bytes for p in profiles)
+        # read input + write shuffle + read shuffle + write output = 4x.
+        assert total_disk == pytest.approx(4 * 6 * GB, rel=0.02)
+        map_stage = [p for p in profiles if p.reads_dfs_input][0]
+        assert map_stage.input_deserialize_s > 0
+
+    def test_profile_requires_monospark(self):
+        cluster = hdd_cluster(num_machines=2,
+                              **scaled_memory_overrides(0.01))
+        workload = SortWorkload(total_bytes=1 * GB, values_per_key=25,
+                                num_map_tasks=16)
+        generate_sort_input(cluster, workload)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        result = run_sort(ctx, workload)
+        with pytest.raises(ModelError):
+            profile_job(ctx.metrics, result.job_id)
+
+    def test_predict_two_to_four_disks(self):
+        """Measure on 2 disks, predict 4, validate against a real run."""
+        ctx2, result2 = self.run_sort_on(machines=4, disks=2)
+        ctx4, result4 = self.run_sort_on(machines=4, disks=4)
+        profiles = profile_job(ctx2.metrics, result2.job_id)
+        what_if = WhatIf(hardware=hardware_profile(ctx4.cluster))
+        prediction = predict(profiles, result2.duration,
+                             hardware_profile(ctx2.cluster), what_if)
+        # The paper's bar for what-if predictions is 28% (§6).
+        assert prediction.error_vs(result4.duration) < 0.28

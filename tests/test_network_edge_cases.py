@@ -1,0 +1,98 @@
+"""Extra edge-case tests for the rewritten water-filling network."""
+
+import pytest
+
+from repro.config import MB
+from repro.simulator import Environment, Network
+
+
+def make(env, machines=4, bw=100 * MB):
+    net = Network(env)
+    for machine in range(machines):
+        net.register_machine(machine, up_bps=bw, down_bps=bw)
+    return net
+
+
+class TestWaterFillingEdgeCases:
+    def test_incast_many_to_one(self):
+        env = Environment()
+        net = make(env, machines=9)
+        flows = [net.transfer(src, 0, 10 * MB) for src in range(1, 9)]
+        env.run(until=env.all_of(flows))
+        # 80 MB into a 100 MB/s downlink.
+        assert env.now == pytest.approx(0.8, rel=0.02)
+
+    def test_outcast_one_to_many(self):
+        env = Environment()
+        net = make(env, machines=9)
+        flows = [net.transfer(0, dst, 10 * MB) for dst in range(1, 9)]
+        env.run(until=env.all_of(flows))
+        assert env.now == pytest.approx(0.8, rel=0.02)
+
+    def test_parallel_flows_same_pair(self):
+        env = Environment()
+        net = make(env)
+        flows = [net.transfer(0, 1, 25 * MB) for _ in range(4)]
+        env.run(until=env.all_of(flows))
+        assert env.now == pytest.approx(1.0, rel=0.02)
+
+    def test_bidirectional_flows_use_full_duplex(self):
+        env = Environment()
+        net = make(env)
+        done = env.all_of([
+            net.transfer(0, 1, 100 * MB),
+            net.transfer(1, 0, 100 * MB),
+        ])
+        env.run(until=done)
+        # Full duplex: both directions run at line rate concurrently.
+        assert env.now == pytest.approx(1.0, rel=0.02)
+
+    def test_heterogeneous_flow_sizes_rebalance_repeatedly(self):
+        env = Environment()
+        net = make(env)
+        finish = {}
+
+        def track(tag, src, dst, nbytes):
+            yield net.transfer(src, dst, nbytes)
+            finish[tag] = env.now
+
+        for tag, nbytes in enumerate((10 * MB, 20 * MB, 40 * MB)):
+            env.process(track(tag, tag + 1, 0, nbytes))
+        env.run()
+        # Shared 100 MB/s downlink, max-min shares; total 70 MB.
+        assert finish[0] < finish[1] < finish[2]
+        assert finish[2] == pytest.approx(0.7, rel=0.03)
+
+    def test_snapshot_reflects_mid_flight_rates(self):
+        env = Environment()
+        net = make(env)
+        net.transfer(0, 1, 500 * MB, label="solo")
+        rates = net.rates_snapshot()
+        assert rates["solo"] == pytest.approx(100 * MB)
+        net.transfer(2, 1, 500 * MB, label="rival")
+        rates = net.rates_snapshot()
+        assert rates["solo"] == pytest.approx(50 * MB)
+        assert rates["rival"] == pytest.approx(50 * MB)
+
+    def test_conservation_under_churn(self):
+        """Total delivered bytes equal total requested bytes."""
+        env = Environment()
+        net = make(env, machines=6)
+        import random
+        rng = random.Random(3)
+        flows = []
+        total = 0.0
+
+        def launch(delay, src, dst, nbytes):
+            yield env.timeout(delay)
+            yield net.transfer(src, dst, nbytes)
+
+        for _ in range(40):
+            src, dst = rng.sample(range(6), 2)
+            nbytes = rng.randint(1, 30) * MB
+            total += nbytes
+            flows.append(env.process(
+                launch(rng.random(), src, dst, nbytes)))
+        env.run(until=env.all_of(flows))
+        assert net.bytes_transferred == pytest.approx(total)
+        assert net.active_flows == 0

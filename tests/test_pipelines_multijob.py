@@ -1,0 +1,64 @@
+"""Multi-job pipelines: saving results and reading them back."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.api.plan import DfsOutput
+from repro.cluster import hdd_cluster
+from repro.config import MB
+from repro.datamodel import Partition
+from repro.errors import ExecutionError
+
+ENGINES = ["spark", "monospark"]
+
+
+def dfs_ctx(engine, blocks=4):
+    cluster = hdd_cluster(num_machines=2)
+    payloads = [Partition.from_records([(i, i * 10)], record_count=1,
+                                       data_bytes=16 * MB)
+                for i in range(blocks)]
+    cluster.dfs.create_file("input", payloads, [16 * MB] * blocks)
+    return AnalyticsContext(cluster, engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSaveAndReadBack:
+    def test_round_trip_through_dfs(self, engine):
+        ctx = dfs_ctx(engine)
+        intermediate = ctx.text_file("input").map_values(lambda v: v + 1)
+        plan = ctx.compile(intermediate,
+                           DfsOutput(file_name="stage1", keep_payload=True),
+                           name="stage1")
+        ctx.engine.run_job(plan)
+        # Second job reads the first job's output from the DFS.
+        final = sorted(ctx.text_file("stage1").collect())
+        assert final == [(i, i * 10 + 1) for i in range(4)]
+
+    def test_saved_blocks_have_locality(self, engine):
+        ctx = dfs_ctx(engine)
+        plan = ctx.compile(ctx.text_file("input"),
+                           DfsOutput(file_name="copy", keep_payload=True),
+                           name="copy")
+        ctx.engine.run_job(plan)
+        for block in ctx.cluster.dfs.get_file("copy").blocks:
+            assert len(block.replicas) == 1  # written locally
+
+    def test_reading_payloadless_output_fails_clearly(self, engine):
+        ctx = dfs_ctx(engine)
+        # Default save does not keep payloads (timing-only output).
+        ctx.text_file("input").save_as_text_file("opaque")
+        with pytest.raises(ExecutionError, match="payload"):
+            ctx.text_file("opaque").collect()
+
+    def test_three_job_chain(self, engine):
+        ctx = dfs_ctx(engine)
+        plan1 = ctx.compile(
+            ctx.text_file("input").map_values(lambda v: v * 2),
+            DfsOutput(file_name="a", keep_payload=True), name="a")
+        ctx.engine.run_job(plan1)
+        plan2 = ctx.compile(
+            ctx.text_file("a").filter(lambda kv: kv[1] >= 20),
+            DfsOutput(file_name="b", keep_payload=True), name="b")
+        ctx.engine.run_job(plan2)
+        out = sorted(ctx.text_file("b").collect())
+        assert out == [(1, 20), (2, 40), (3, 60)]

@@ -1,0 +1,74 @@
+"""Tests for stage-profile attribution details in the model inputs."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster
+from repro.config import GB, MB
+from repro.metrics.events import (PHASE_INPUT_READ, PHASE_OUTPUT_WRITE,
+                                  PHASE_SHUFFLE_READ, PHASE_SHUFFLE_SERVE,
+                                  PHASE_SHUFFLE_WRITE)
+from repro.model import profile_job
+from repro.workloads.scaling import scaled_memory_overrides
+from repro.workloads.sortgen import SortWorkload, generate_sort_input, run_sort
+
+
+@pytest.fixture(scope="module")
+def sort_run():
+    cluster = hdd_cluster(num_machines=4, **scaled_memory_overrides(0.01))
+    workload = SortWorkload(total_bytes=6 * GB, values_per_key=25,
+                            num_map_tasks=64)
+    generate_sort_input(cluster, workload)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    result = run_sort(ctx, workload)
+    profiles = {p.stage_id: p
+                for p in profile_job(ctx.metrics, result.job_id)}
+    return ctx, result, profiles
+
+
+class TestPhaseAttribution:
+    def test_map_stage_phases(self, sort_run):
+        _, _, profiles = sort_run
+        map_stage = next(p for p in profiles.values() if p.reads_dfs_input)
+        assert map_stage.disk_bytes[PHASE_INPUT_READ] == pytest.approx(
+            6 * GB, rel=0.01)
+        assert map_stage.disk_bytes[PHASE_SHUFFLE_WRITE] == pytest.approx(
+            6 * GB, rel=0.01)
+        assert PHASE_OUTPUT_WRITE not in map_stage.disk_bytes
+
+    def test_reduce_stage_phases(self, sort_run):
+        _, _, profiles = sort_run
+        reduce_stage = next(p for p in profiles.values()
+                            if not p.reads_dfs_input)
+        # Shuffle-serve reads (issued on remote machines!) are attributed
+        # to the stage that requested them, and local reads plus remote
+        # serves together cover the whole shuffle.
+        read = reduce_stage.disk_bytes.get(PHASE_SHUFFLE_READ, 0.0)
+        serve = reduce_stage.disk_bytes.get(PHASE_SHUFFLE_SERVE, 0.0)
+        assert read + serve == pytest.approx(6 * GB, rel=0.01)
+        assert serve > read  # most buckets live on remote machines
+        assert reduce_stage.disk_bytes[PHASE_OUTPUT_WRITE] == pytest.approx(
+            6 * GB, rel=0.01)
+
+    def test_network_bytes_are_the_remote_share(self, sort_run):
+        _, _, profiles = sort_run
+        reduce_stage = next(p for p in profiles.values()
+                            if not p.reads_dfs_input)
+        serve = reduce_stage.disk_bytes[PHASE_SHUFFLE_SERVE]
+        assert reduce_stage.network_bytes == pytest.approx(serve, rel=0.01)
+
+    def test_input_deserialize_only_on_map(self, sort_run):
+        _, _, profiles = sort_run
+        map_stage = next(p for p in profiles.values() if p.reads_dfs_input)
+        reduce_stage = next(p for p in profiles.values()
+                            if not p.reads_dfs_input)
+        assert map_stage.input_deserialize_s > 0
+        assert reduce_stage.input_deserialize_s == 0.0
+        # Both stages deserialize *something* (input vs shuffle data).
+        assert reduce_stage.deserialize_s > 0
+
+    def test_measured_durations_sum_to_job(self, sort_run):
+        ctx, result, profiles = sort_run
+        total = sum(p.measured_duration_s for p in profiles.values())
+        # Stages run back-to-back; tiny scheduling gaps allowed.
+        assert total == pytest.approx(result.duration, rel=0.02)

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api.ops import (CombineByKeyOp, FilterOp, FlatMapOp, MapOp,
+                           SortOp, run_chain)
+from repro.api.partitioners import HashPartitioner, RangePartitioner
+from repro.config import MB, DiskSpec
+from repro.datamodel import Partition
+from repro.metrics.utilization import percentile
+from repro.simulator import BusyTracker, Disk, Environment, Network
+
+keys = st.one_of(st.integers(-10**6, 10**6), st.text(max_size=8))
+records = st.lists(st.tuples(keys, st.integers(-100, 100)), max_size=60)
+
+
+class TestEventOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=40))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        env = Environment()
+        fired = []
+        for delay in delays:
+            env.timeout(delay).add_callback(lambda e, d=delay: fired.append(
+                env.now))
+        env.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_clock_ends_at_latest_event(self, delays):
+        env = Environment()
+        for delay in delays:
+            env.timeout(delay)
+        env.run()
+        assert env.now == max(delays)
+
+
+class TestPartitionInvariants:
+    @given(records)
+    def test_merge_preserves_totals(self, rows):
+        half = len(rows) // 2
+        a = Partition.from_records(rows[:half])
+        b = Partition.from_records(rows[half:])
+        merged = Partition.merge([a, b])
+        assert merged.record_count == a.record_count + b.record_count
+        assert merged.data_bytes == a.data_bytes + b.data_bytes
+        assert merged.records == rows
+
+    @given(records, st.integers(1, 8))
+    def test_split_proportionally_conserves_mass(self, rows, buckets):
+        partition = Partition.from_records(rows, record_count=1000.0,
+                                           data_bytes=5000.0)
+        split = HashPartitioner(buckets).split(rows)
+        parts = partition.split_proportionally(split)
+        assert sum(p.record_count for p in parts) == math.isclose(
+            1000.0, sum(p.record_count for p in parts)) or math.isclose(
+            sum(p.record_count for p in parts), 1000.0)
+        assert math.isclose(sum(p.data_bytes for p in parts), 5000.0)
+        flattened = [r for p in parts for r in p.records]
+        assert sorted(map(repr, flattened)) == sorted(map(repr, rows))
+
+
+class TestPartitionerInvariants:
+    @given(records, st.integers(1, 16))
+    def test_hash_partitioner_total_and_range(self, rows, n):
+        buckets = HashPartitioner(n).split(rows)
+        assert len(buckets) == n
+        assert sum(len(b) for b in buckets) == len(rows)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50),
+           st.integers(1, 8))
+    def test_range_partitioner_orders_buckets(self, sample, n):
+        partitioner = RangePartitioner.from_sample(sample, n)
+        rows = [(k, None) for k in sample]
+        buckets = partitioner.split(rows)
+        flat = []
+        for bucket in buckets:
+            flat.extend(sorted(k for k, _ in bucket))
+        assert flat == sorted(sample)
+
+
+class TestOpInvariants:
+    @given(records)
+    def test_filter_never_grows(self, rows):
+        out = FilterOp(lambda kv: kv[1] > 0).transform(
+            Partition.from_records(rows))
+        assert len(out.records) <= len(rows)
+        assert out.record_count <= len(rows)
+
+    @given(records)
+    def test_sort_op_is_permutation(self, rows):
+        out = SortOp(key_fn=lambda kv: repr(kv[0])).apply(rows)
+        assert sorted(map(repr, out)) == sorted(map(repr, rows))
+
+    @given(records)
+    def test_combine_by_key_sums_match(self, rows):
+        combined = CombineByKeyOp(lambda a, b: a + b).apply(rows)
+        assert sum(v for _, v in combined) == sum(v for _, v in rows)
+        assert len({k for k, _ in combined}) == len(combined)
+
+    @given(records)
+    def test_chain_cpu_nonnegative(self, rows):
+        chain = [MapOp(lambda kv: kv), FilterOp(lambda kv: True)]
+        _, cpu = run_chain(Partition.from_records(rows), chain)
+        assert cpu >= 0.0
+
+
+class TestDiskInvariants:
+    @given(st.lists(st.floats(min_value=1.0, max_value=64.0), min_size=1,
+                    max_size=8))
+    @settings(deadline=None)
+    def test_hdd_time_at_least_transfer_time(self, sizes_mb):
+        env = Environment()
+        disk = Disk(env, DiskSpec(kind="hdd", throughput_bps=100 * MB,
+                                  seek_time_s=0.005))
+        done = env.all_of([disk.read(mb * MB) for mb in sizes_mb])
+        env.run(until=done)
+        floor = sum(mb * MB for mb in sizes_mb) / (100 * MB)
+        assert env.now >= floor - 1e-9
+        assert disk.bytes_read == sum(mb * MB for mb in sizes_mb)
+
+    @given(st.integers(1, 10))
+    @settings(deadline=None)
+    def test_more_streams_never_faster(self, streams):
+        def run(n):
+            env = Environment()
+            disk = Disk(env, DiskSpec(kind="hdd", throughput_bps=100 * MB,
+                                      seek_time_s=0.005))
+            env.run(until=env.all_of(
+                [disk.read(32 * MB) for _ in range(n)]))
+            return env.now / n  # time per stream's worth of data
+        assert run(streams) >= run(1) - 1e-9
+
+
+class TestNetworkInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.floats(min_value=1.0, max_value=50.0)),
+                    min_size=1, max_size=10))
+    @settings(deadline=None)
+    def test_transfers_respect_aggregate_capacity(self, flows):
+        env = Environment()
+        net = Network(env)
+        for machine in range(4):
+            net.register_machine(machine, up_bps=100 * MB, down_bps=100 * MB)
+        events = [net.transfer(src, dst, mb * MB)
+                  for src, dst, mb in flows]
+        env.run(until=env.all_of(events))
+        remote_bytes = sum(mb * MB for src, dst, mb in flows if src != dst)
+        # No link exceeds capacity: total time >= busiest link's demand.
+        for machine in range(4):
+            inbound = sum(mb * MB for src, dst, mb in flows
+                          if dst == machine and src != dst)
+            assert env.now >= inbound / (100 * MB) - 1e-6
+        assert net.bytes_transferred == sum(mb * MB for _, _, mb in flows)
+
+
+class TestUtilizationInvariants:
+    @given(st.lists(st.tuples(st.floats(0.1, 10.0), st.integers(0, 4)),
+                    min_size=1, max_size=20))
+    def test_utilization_bounded(self, changes):
+        env = Environment()
+        tracker = BusyTracker(env, units=4)
+
+        def proc():
+            for delay, busy in changes:
+                tracker.set_busy(busy)
+                yield env.timeout(delay)
+
+        env.run(until=env.process(proc()))
+        util = tracker.utilization()
+        assert 0.0 <= util <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30),
+           st.floats(0.0, 100.0))
+    def test_percentile_within_bounds(self, values, q):
+        result = percentile(values, q)
+        assert min(values) - 1e-12 <= result <= max(values) + 1e-12

@@ -1,0 +1,130 @@
+"""Tests for the extended RDD API (union, distinct, sample, etc.)."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.cluster import hdd_cluster
+from repro.errors import PlanError
+
+ENGINES = ["spark", "monospark"]
+
+
+def ctx_for(engine):
+    return AnalyticsContext(hdd_cluster(num_machines=2), engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestKeyValueHelpers:
+    def test_map_values(self, engine):
+        ctx = ctx_for(engine)
+        out = (ctx.parallelize([("a", 1), ("b", 2)], num_partitions=2)
+               .map_values(lambda v: v * 10).collect())
+        assert sorted(out) == [("a", 10), ("b", 20)]
+
+    def test_flat_map_values(self, engine):
+        ctx = ctx_for(engine)
+        out = (ctx.parallelize([("a", 2)], num_partitions=1)
+               .flat_map_values(lambda v: range(v)).collect())
+        assert sorted(out) == [("a", 0), ("a", 1)]
+
+    def test_keys_and_values(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize([("a", 1), ("b", 2)], num_partitions=2)
+        assert sorted(rdd.keys().collect()) == ["a", "b"]
+        assert sorted(rdd.values().collect()) == [1, 2]
+
+    def test_count_by_key(self, engine):
+        ctx = ctx_for(engine)
+        counts = (ctx.parallelize([("a", 1), ("a", 2), ("b", 3)],
+                                  num_partitions=2).count_by_key())
+        assert counts == {"a": 2, "b": 1}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSetLikeOps:
+    def test_distinct(self, engine):
+        ctx = ctx_for(engine)
+        out = (ctx.parallelize([1, 2, 2, 3, 3, 3], num_partitions=3)
+               .distinct(num_partitions=2).collect())
+        assert sorted(out) == [1, 2, 3]
+
+    def test_union_concatenates(self, engine):
+        ctx = ctx_for(engine)
+        left = ctx.parallelize([1, 2], num_partitions=2)
+        right = ctx.parallelize([3, 4, 5], num_partitions=3)
+        union = left.union(right)
+        assert union.num_partitions == 5
+        assert sorted(union.collect()) == [1, 2, 3, 4, 5]
+
+    def test_union_then_shuffle(self, engine):
+        ctx = ctx_for(engine)
+        left = ctx.parallelize([("a", 1)], num_partitions=1)
+        right = ctx.parallelize([("a", 2), ("b", 3)], num_partitions=2)
+        out = (left.union(right)
+               .reduce_by_key(lambda a, b: a + b, num_partitions=2)
+               .collect())
+        assert sorted(out) == [("a", 3), ("b", 3)]
+
+    def test_union_of_transformed(self, engine):
+        ctx = ctx_for(engine)
+        base = ctx.parallelize([1, 2, 3], num_partitions=3)
+        doubled = base.map(lambda x: x * 2)
+        tripled = base.map(lambda x: x * 3)
+        out = sorted(doubled.union(tripled).collect())
+        assert out == [2, 3, 4, 6, 6, 9]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSampleAndRepartition:
+    def test_sample_is_deterministic(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize(range(200), num_partitions=4)
+        first = sorted(rdd.sample(0.3, seed=1).collect())
+        second = sorted(rdd.sample(0.3, seed=1).collect())
+        assert first == second
+        assert 20 < len(first) < 120
+
+    def test_sample_fraction_validated(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize(range(10), num_partitions=1)
+        with pytest.raises(PlanError):
+            rdd.sample(0.0)
+        with pytest.raises(PlanError):
+            rdd.sample(1.5)
+
+    def test_repartition_changes_partition_count(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize(range(40), num_partitions=2).repartition(8)
+        assert rdd.num_partitions == 8
+        assert sorted(rdd.collect()) == list(range(40))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSmallActions:
+    def test_take_and_first(self, engine):
+        ctx = ctx_for(engine)
+        rdd = ctx.parallelize([5, 6, 7], num_partitions=1)
+        assert rdd.take(2) == [5, 6]
+        assert rdd.first() == 5
+        with pytest.raises(PlanError):
+            rdd.take(-1)
+
+    def test_first_on_empty_raises(self, engine):
+        ctx = ctx_for(engine)
+        empty = ctx.parallelize(range(4), num_partitions=2).filter(
+            lambda x: False)
+        with pytest.raises(PlanError):
+            empty.first()
+
+    def test_reduce(self, engine):
+        ctx = ctx_for(engine)
+        total = ctx.parallelize(range(10), num_partitions=3).reduce(
+            lambda a, b: a + b)
+        assert total == 45
+
+    def test_reduce_on_empty_raises(self, engine):
+        ctx = ctx_for(engine)
+        empty = ctx.parallelize([1], num_partitions=1).filter(
+            lambda x: False)
+        with pytest.raises(PlanError):
+            empty.reduce(lambda a, b: a + b)

@@ -1,0 +1,78 @@
+"""Unit tests for RNG streams and configuration validation."""
+
+import pytest
+
+from repro.config import GB, HDD, MB, SSD, CostModel, DiskSpec, MachineSpec
+from repro.errors import ConfigError
+from repro.simulator import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("disk")
+        b = RngStreams(7).stream("disk")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("disk")
+        b = streams.stream("network")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x")
+        b = RngStreams(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fork_is_deterministic_and_independent(self):
+        root = RngStreams(3)
+        child1 = root.fork("worker")
+        child2 = RngStreams(3).fork("worker")
+        assert child1.stream("a").random() == child2.stream("a").random()
+        assert child1.seed != root.seed
+
+
+class TestSpecs:
+    def test_default_machine_spec(self):
+        spec = MachineSpec()
+        assert spec.cores == 8
+        assert len(spec.disks) == 2
+
+    def test_with_disks(self):
+        spec = MachineSpec().with_disks(SSD)
+        assert spec.disks == (SSD,)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(cores=0)
+
+    def test_no_disks_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(disks=())
+
+    def test_invalid_disk_throughput(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(kind="bad", throughput_bps=0, seek_time_s=0.0)
+
+    def test_invalid_disk_concurrency(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(kind="bad", throughput_bps=1, seek_time_s=0.0,
+                     max_concurrency=0)
+
+    def test_hdd_ssd_presets(self):
+        assert HDD.max_concurrency == 1
+        assert SSD.max_concurrency == 4
+        assert SSD.throughput_bps > HDD.throughput_bps
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(serialize_s_per_byte=-1.0)
+
+    def test_cost_model_defaults_positive(self):
+        cost = CostModel()
+        assert cost.deserialize_s_per_byte > 0
+        assert cost.task_setup_s > 0

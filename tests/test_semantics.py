@@ -1,0 +1,114 @@
+"""Unit tests for the shared task semantics layer."""
+
+import pytest
+
+from repro.api.ops import CombineByKeyOp, FilterOp, MapOp
+from repro.api.partitioners import HashPartitioner
+from repro.api.plan import (CacheSpec, CollectOutput, DfsOutput, LocalInput,
+                            ShuffleOutput, TaskDescriptor)
+from repro.config import CostModel, MB
+from repro.datamodel import COMPRESSED, DESERIALIZED, PLAIN, Partition
+from repro.engine.semantics import ResolvedInput, compute_task_work
+from repro.errors import ExecutionError
+
+COST = CostModel()
+
+
+def descriptor(chain, output, cache=None):
+    return TaskDescriptor(job_id=0, stage_id=0, index=0,
+                          input=LocalInput(Partition.empty()),
+                          chain=chain, output=output, cache=cache)
+
+
+def resolved(records, count=None, nbytes=None, fmt=PLAIN):
+    part = Partition.from_records(records, record_count=count,
+                                  data_bytes=nbytes)
+    return ResolvedInput(partition=part,
+                         stored_bytes=fmt.stored_bytes(part.data_bytes),
+                         fmt=fmt)
+
+
+class TestComputeTaskWork:
+    def test_collect_output(self):
+        work = compute_task_work(
+            descriptor([MapOp(lambda x: x * 2)], CollectOutput()),
+            [resolved([1, 2, 3])], COST)
+        assert work.output_partition.records == [2, 4, 6]
+        assert work.deserialize_s > 0
+        assert work.serialize_s > 0
+        assert work.total_cpu_s == pytest.approx(
+            work.deserialize_s + work.op_s + work.serialize_s)
+
+    def test_count_only_skips_serialization(self):
+        work = compute_task_work(
+            descriptor([], CollectOutput(count_only=True)),
+            [resolved([1, 2])], COST)
+        assert work.serialize_s == 0.0
+        assert work.output_stored_bytes == 0.0
+
+    def test_deserialized_input_is_free_to_decode(self):
+        work = compute_task_work(
+            descriptor([], CollectOutput()),
+            [ResolvedInput(partition=Partition.from_records([1]),
+                           stored_bytes=0.0, fmt=DESERIALIZED,
+                           in_memory=True)], COST)
+        assert work.deserialize_s == 0.0
+
+    def test_compressed_input_costs_more(self):
+        plain = compute_task_work(
+            descriptor([], CollectOutput(count_only=True)),
+            [resolved([1] * 10, count=1e6, nbytes=100 * MB)], COST)
+        compressed = compute_task_work(
+            descriptor([], CollectOutput(count_only=True)),
+            [resolved([1] * 10, count=1e6, nbytes=100 * MB,
+                      fmt=COMPRESSED)], COST)
+        assert compressed.deserialize_s > plain.deserialize_s
+        assert compressed.input_stored_bytes < plain.input_stored_bytes
+
+    def test_shuffle_output_buckets(self):
+        output = ShuffleOutput(shuffle_id=0,
+                               partitioner=HashPartitioner(4))
+        work = compute_task_work(
+            descriptor([], output),
+            [resolved([(i, i) for i in range(40)])], COST)
+        assert work.shuffle_buckets
+        total = sum(p.record_count for p in work.shuffle_buckets.values())
+        assert total == pytest.approx(40)
+
+    def test_dfs_output_stored_bytes(self):
+        output = DfsOutput(file_name="out", fmt=COMPRESSED)
+        work = compute_task_work(
+            descriptor([], output),
+            [resolved([1] * 4, count=4, nbytes=100.0)], COST)
+        assert work.output_stored_bytes == pytest.approx(50.0)
+
+    def test_cache_snapshot_taken_at_split_point(self):
+        cache = CacheSpec(rdd_id=9, after_ops=1, fmt=DESERIALIZED)
+        chain = [MapOp(lambda x: x + 1), FilterOp(lambda x: x > 2)]
+        work = compute_task_work(
+            descriptor(chain, CollectOutput(), cache=cache),
+            [resolved([1, 2, 3])], COST)
+        assert work.cache_partition.records == [2, 3, 4]
+        assert work.output_partition.records == [3, 4]
+
+    def test_multiple_inputs_merged(self):
+        work = compute_task_work(
+            descriptor([], CollectOutput()),
+            [resolved([1]), resolved([2]), resolved([3])], COST)
+        assert work.input_partition.records == [1, 2, 3]
+        assert work.input_stored_bytes == pytest.approx(
+            sum(r.stored_bytes for r in [resolved([1]), resolved([2]),
+                                         resolved([3])]))
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ExecutionError):
+            compute_task_work(descriptor([], object()),
+                              [resolved([1])], COST)
+
+    def test_op_cost_included(self):
+        from repro.api.ops import OpCost
+        chain = [MapOp(lambda x: x, cost=OpCost(per_record_s=1.0))]
+        work = compute_task_work(
+            descriptor(chain, CollectOutput(count_only=True)),
+            [resolved([1, 2, 3])], COST)
+        assert work.op_s == pytest.approx(3.0)

@@ -1,0 +1,186 @@
+"""Unit tests for the buffer cache and memory accounting."""
+
+import pytest
+
+from repro.config import GB, HDD, MB, MachineSpec
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.simulator import BufferCache, Disk, Environment, MemoryPool
+
+
+def make_cache(env, cache_bytes=1 * GB, dirty_bg=256 * MB, disks=1):
+    spec = MachineSpec(cores=8, memory_bytes=4 * GB, disks=(HDD,) * disks,
+                       buffer_cache_bytes=cache_bytes,
+                       dirty_background_bytes=dirty_bg)
+    disk_objs = [Disk(env, d, name=f"disk{i}")
+                 for i, d in enumerate(spec.disks)]
+    return BufferCache(env, spec, disk_objs), disk_objs
+
+
+class TestWrites:
+    def test_buffered_write_is_fast(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        env.run(until=cache.write(0, 100 * MB, "b1"))
+        # Memcpy only: far faster than the ~1s the disk would take.
+        assert env.now < 0.1
+        assert cache.dirty_bytes == 100 * MB
+        assert disks[0].bytes_written == 0
+
+    def test_write_through_pays_disk_time(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        env.run(until=cache.write(0, 100 * MB, "b1", write_through=True))
+        assert env.now > 0.5  # paid the disk transfer, not just a memcpy
+        assert disks[0].bytes_written == 100 * MB
+        assert cache.dirty_bytes == 0
+
+    def test_flusher_kicks_in_over_threshold(self):
+        env = Environment()
+        cache, disks = make_cache(env, dirty_bg=64 * MB)
+
+        def proc():
+            yield cache.write(0, 200 * MB, "big")
+            # Let the background flusher run.
+            yield env.timeout(30.0)
+
+        env.run(until=env.process(proc()))
+        assert disks[0].bytes_written == 200 * MB
+        assert cache.dirty_bytes == 0
+        # The written block remains cached clean.
+        assert cache.resident("big")
+
+    def test_writers_block_when_cache_full_of_dirty(self):
+        env = Environment()
+        cache, disks = make_cache(env, cache_bytes=100 * MB,
+                                  dirty_bg=1000 * MB)
+        times = {}
+
+        def proc():
+            yield cache.write(0, 90 * MB, "a")
+            times["a"] = env.now
+            yield cache.write(0, 90 * MB, "b")
+            times["b"] = env.now
+
+        env.run(until=env.process(proc()))
+        assert times["a"] < 0.1
+        # Second write had to wait for write-back of the first.
+        assert times["b"] > 0.5
+        assert disks[0].bytes_written >= 80 * MB
+
+    def test_write_larger_than_cache_goes_through(self):
+        env = Environment()
+        cache, disks = make_cache(env, cache_bytes=50 * MB)
+        env.run(until=cache.write(0, 200 * MB, "huge"))
+        assert disks[0].bytes_written == 200 * MB
+
+
+class TestReads:
+    def test_read_miss_goes_to_disk(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+        env.run(until=cache.read(0, 100 * MB, "b1"))
+        assert env.now > 0.5
+        assert disks[0].bytes_read == 100 * MB
+        assert cache.read_misses == 1
+
+    def test_read_hit_after_miss(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+
+        def proc():
+            yield cache.read(0, 100 * MB, "b1")
+            t_miss = env.now
+            yield cache.read(0, 100 * MB, "b1")
+            return env.now - t_miss
+
+        hit_time = env.run(until=env.process(proc()))
+        assert hit_time < 0.1
+        assert cache.read_hits == 1
+        assert disks[0].bytes_read == 100 * MB
+
+    def test_read_hits_dirty_data(self):
+        env = Environment()
+        cache, disks = make_cache(env)
+
+        def proc():
+            yield cache.write(0, 50 * MB, "shuffle-0")
+            yield cache.read(0, 50 * MB, "shuffle-0")
+
+        env.run(until=env.process(proc()))
+        assert cache.read_hits == 1
+        assert disks[0].bytes_read == 0
+
+    def test_lru_eviction_of_clean_blocks(self):
+        env = Environment()
+        cache, disks = make_cache(env, cache_bytes=250 * MB)
+
+        def proc():
+            yield cache.read(0, 100 * MB, "a")
+            yield cache.read(0, 100 * MB, "b")
+            yield cache.read(0, 100 * MB, "c")  # evicts "a"
+
+        env.run(until=env.process(proc()))
+        assert not cache.resident("a")
+        assert cache.resident("b")
+        assert cache.resident("c")
+
+
+class TestSync:
+    def test_sync_flushes_everything(self):
+        env = Environment()
+        cache, disks = make_cache(env, dirty_bg=10 * GB)
+
+        def proc():
+            yield cache.write(0, 100 * MB, "x")
+            assert cache.dirty_bytes == 100 * MB
+            yield cache.sync()
+
+        env.run(until=env.process(proc()))
+        assert cache.dirty_bytes == 0
+        assert disks[0].bytes_written == 100 * MB
+
+    def test_invalid_disk_index(self):
+        env = Environment()
+        cache, _ = make_cache(env)
+        with pytest.raises(SimulationError):
+            cache.read(5, 10, "x")
+
+
+class TestMemoryPool:
+    def test_acquire_release_and_peak(self):
+        env = Environment()
+        pool = MemoryPool(env, capacity_bytes=1 * GB)
+        pool.acquire(400 * MB)
+        pool.acquire(300 * MB)
+        pool.release(400 * MB)
+        assert pool.used == 300 * MB
+        assert pool.peak == 700 * MB
+
+    def test_overcommit_recorded_when_not_strict(self):
+        env = Environment()
+        pool = MemoryPool(env, capacity_bytes=100 * MB)
+        pool.acquire(200 * MB)
+        assert pool.overcommit_events == 1
+        assert pool.used == 200 * MB
+
+    def test_strict_mode_raises(self):
+        env = Environment()
+        pool = MemoryPool(env, capacity_bytes=100 * MB, strict=True)
+        with pytest.raises(OutOfMemoryError):
+            pool.acquire(200 * MB)
+        assert pool.used == 0
+
+    def test_over_release_rejected(self):
+        env = Environment()
+        pool = MemoryPool(env, capacity_bytes=1 * GB)
+        pool.acquire(10)
+        with pytest.raises(SimulationError):
+            pool.release(20)
+
+    def test_timeline_records_changes(self):
+        env = Environment()
+        pool = MemoryPool(env, capacity_bytes=1 * GB)
+        pool.acquire(100)
+        env.timeout(5.0)
+        env.run()
+        assert pool.timeline[-1] == (0.0, 100.0)

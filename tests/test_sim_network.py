@@ -1,0 +1,146 @@
+"""Unit tests for the max-min fair network fabric."""
+
+import pytest
+
+from repro.config import MB
+from repro.errors import SimulationError
+from repro.simulator import Environment, Network
+from repro.simulator.network import FLOW_LATENCY_S
+
+BW = 100 * MB  # symmetric link bandwidth used in these tests
+
+
+def make_network(env, machines=4, bw=BW):
+    net = Network(env)
+    for machine in range(machines):
+        net.register_machine(machine, up_bps=bw, down_bps=bw)
+    return net
+
+
+def test_single_flow_uses_full_bandwidth():
+    env = Environment()
+    net = make_network(env)
+    env.run(until=net.transfer(0, 1, 100 * MB))
+    assert env.now == pytest.approx(1.0, rel=0.01)
+
+
+def test_two_flows_share_receiver_link():
+    env = Environment()
+    net = make_network(env)
+    done = env.all_of([
+        net.transfer(0, 2, 100 * MB),
+        net.transfer(1, 2, 100 * MB),
+    ])
+    env.run(until=done)
+    # Both into machine 2: each gets 50 MB/s.
+    assert env.now == pytest.approx(2.0, rel=0.01)
+
+
+def test_two_flows_share_sender_link():
+    env = Environment()
+    net = make_network(env)
+    done = env.all_of([
+        net.transfer(0, 1, 100 * MB),
+        net.transfer(0, 2, 100 * MB),
+    ])
+    env.run(until=done)
+    assert env.now == pytest.approx(2.0, rel=0.01)
+
+
+def test_disjoint_flows_do_not_contend():
+    env = Environment()
+    net = make_network(env)
+    done = env.all_of([
+        net.transfer(0, 1, 100 * MB),
+        net.transfer(2, 3, 100 * MB),
+    ])
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0, rel=0.01)
+
+
+def test_rates_rebalance_when_flow_finishes():
+    env = Environment()
+    net = make_network(env)
+    finish = {}
+
+    def run_flow(tag, nbytes):
+        yield net.transfer(tag, 2, nbytes)
+        finish[tag] = env.now
+
+    env.process(run_flow(0, 50 * MB))
+    env.process(run_flow(1, 100 * MB))
+    env.run()
+    # Shared 100 MB/s receiver: flow 0 (50 MB) finishes at t=1 while both
+    # run at 50 MB/s; flow 1 then gets the full link for its last 50 MB.
+    assert finish[0] == pytest.approx(1.0, rel=0.02)
+    assert finish[1] == pytest.approx(1.5, rel=0.02)
+
+
+def test_max_min_fairness_water_filling():
+    env = Environment()
+    net = make_network(env)
+    # Flows: A 0->1, B 0->2, C 3->2.  Link 0-up shared by A,B; link 2-down
+    # shared by B,C.  Max-min: A=50, B=50, C=50 at first; all symmetric.
+    net.transfer(0, 1, 500 * MB, label="A")
+    net.transfer(0, 2, 500 * MB, label="B")
+    net.transfer(3, 2, 500 * MB, label="C")
+    rates = net.rates_snapshot()
+    assert rates["A"] == pytest.approx(50 * MB)
+    assert rates["B"] == pytest.approx(50 * MB)
+    assert rates["C"] == pytest.approx(50 * MB)
+
+
+def test_asymmetric_water_filling():
+    env = Environment()
+    net = Network(env)
+    net.register_machine(0, up_bps=100 * MB, down_bps=100 * MB)
+    net.register_machine(1, up_bps=100 * MB, down_bps=30 * MB)
+    net.register_machine(2, up_bps=100 * MB, down_bps=100 * MB)
+    # B bottlenecked at machine 1's 30 MB/s downlink; A then gets the
+    # remaining 70 MB/s of machine 0's uplink.
+    net.transfer(0, 2, 500 * MB, label="A")
+    net.transfer(0, 1, 500 * MB, label="B")
+    rates = net.rates_snapshot()
+    assert rates["B"] == pytest.approx(30 * MB)
+    assert rates["A"] == pytest.approx(70 * MB)
+
+
+def test_local_transfer_is_latency_only():
+    env = Environment()
+    net = make_network(env)
+    env.run(until=net.transfer(1, 1, 1000 * MB))
+    assert env.now == pytest.approx(FLOW_LATENCY_S)
+
+
+def test_unregistered_machine_rejected():
+    env = Environment()
+    net = make_network(env, machines=2)
+    with pytest.raises(SimulationError):
+        net.transfer(0, 99, 10)
+
+
+def test_duplicate_registration_rejected():
+    env = Environment()
+    net = make_network(env, machines=1)
+    with pytest.raises(SimulationError):
+        net.register_machine(0, BW, BW)
+
+
+def test_bytes_accounting():
+    env = Environment()
+    net = make_network(env)
+    env.run(until=net.transfer(0, 1, 42 * MB))
+    assert net.bytes_transferred == 42 * MB
+
+
+def test_many_flows_conserve_bandwidth():
+    env = Environment()
+    net = make_network(env, machines=8)
+    flows = []
+    for src in range(4):
+        for dst in range(4, 8):
+            flows.append(net.transfer(src, dst, 25 * MB))
+    env.run(until=env.all_of(flows))
+    # 16 flows, each sender uplink 100 MB/s shared by 4 flows -> 25 MB/s
+    # each; total 400 MB moved through 400 MB/s of aggregate capacity.
+    assert env.now == pytest.approx(1.0, rel=0.02)

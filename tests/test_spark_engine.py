@@ -1,0 +1,114 @@
+"""Unit tests for the Spark-style baseline engine's mechanics."""
+
+import pytest
+
+from repro.api import AnalyticsContext
+from repro.api.ops import OpCost
+from repro.cluster import hdd_cluster
+from repro.config import MB
+from repro.datamodel import Partition
+
+
+def dfs_cluster(blocks=8, block_mb=64, machines=1, **overrides):
+    cluster = hdd_cluster(num_machines=machines, **overrides)
+    payloads = [Partition.from_records([(i, i)], record_count=1,
+                                       data_bytes=block_mb * MB)
+                for i in range(blocks)]
+    cluster.dfs.create_file("input", payloads, [block_mb * MB] * blocks)
+    return cluster
+
+
+class TestPipelining:
+    def test_read_overlaps_compute(self):
+        """A chunk-pipelined task takes ~max(read, compute), not the sum."""
+        cluster = dfs_cluster(blocks=1, block_mb=128)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        compute_s = 2.0
+        (ctx.text_file("input")
+            .map(lambda kv: kv, cost=OpCost(per_record_s=compute_s),
+                 size_ratio=1.0)
+            .count())
+        duration = ctx.last_result.duration
+        read_s = 128 * MB / cluster.spec.disks[0].throughput_bps
+        total_cpu_s = sum(u.cpu_s for u in ctx.metrics.resource_usage)
+        # Pipelined: total ~= cpu + one chunk of ramp-in, far below the
+        # unpipelined read-then-compute sum.
+        assert duration < (read_s + total_cpu_s) * 0.9
+        assert duration >= max(read_s, total_cpu_s)
+
+    def test_slots_limit_concurrency(self):
+        """Fewer slots -> longer runtime for a CPU-bound stage."""
+        def run(slots):
+            cluster = dfs_cluster(blocks=8, block_mb=1)
+            ctx = AnalyticsContext(cluster, engine="spark",
+                                   slots_per_machine=slots)
+            (ctx.text_file("input")
+                .map(lambda kv: kv, cost=OpCost(per_record_s=1.0),
+                     size_ratio=1.0)
+                .count())
+            return ctx.last_result.duration
+
+        assert run(2) > run(8) * 1.5
+
+    def test_oversubscribed_slots_contend_for_cores(self):
+        """More slots than cores cannot beat slots == cores on pure CPU."""
+        def run(slots):
+            cluster = dfs_cluster(blocks=32, block_mb=1)
+            ctx = AnalyticsContext(cluster, engine="spark",
+                                   slots_per_machine=slots)
+            (ctx.text_file("input")
+                .map(lambda kv: kv, cost=OpCost(per_record_s=0.5),
+                     size_ratio=1.0)
+                .count())
+            return ctx.last_result.duration
+
+        assert run(32) >= run(8) * 0.95
+
+
+class TestBufferCacheBehaviour:
+    def test_outputs_land_in_cache_not_disk(self):
+        cluster = dfs_cluster(blocks=4, block_mb=32)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        ctx.text_file("input").save_as_text_file("out")
+        machine = cluster.machine(0)
+        # Writes went to the cache; little or nothing hit the platter yet.
+        written = sum(d.bytes_written for d in machine.disks)
+        assert machine.cache.dirty_bytes + written >= 4 * 32 * MB * 0.99
+        assert machine.cache.dirty_bytes > 0
+
+    def test_flush_writes_forces_disk(self):
+        cluster = dfs_cluster(blocks=4, block_mb=32)
+        ctx = AnalyticsContext(cluster, engine="spark", flush_writes=True)
+        ctx.text_file("input").save_as_text_file("out")
+        machine = cluster.machine(0)
+        assert sum(d.bytes_written for d in machine.disks) >= 4 * 32 * MB
+        assert machine.cache.dirty_bytes == 0
+
+    def test_shuffle_reads_hit_cache_when_recent(self):
+        cluster = dfs_cluster(blocks=4, block_mb=16)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        (ctx.text_file("input")
+            .map(lambda kv: (kv[0] % 2, 1), size_ratio=1.0)
+            .reduce_by_key(lambda a, b: a + b, num_partitions=2)
+            .collect())
+        machine = cluster.machine(0)
+        # Reducers found the just-written shuffle buckets in cache.
+        assert machine.cache.read_hits > 0
+
+
+class TestResourceUsageRecords:
+    def test_ground_truth_totals(self):
+        cluster = dfs_cluster(blocks=4, block_mb=32)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        ctx.text_file("input").count()
+        usage = ctx.metrics.resource_usage
+        assert len(usage) == 4
+        assert sum(u.disk_bytes_read for u in usage) == pytest.approx(
+            4 * 32 * MB)
+        assert all(u.cpu_s > 0 for u in usage)
+
+    def test_no_monotask_records_from_spark(self):
+        cluster = dfs_cluster(blocks=2)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        ctx.text_file("input").count()
+        assert ctx.metrics.monotasks == []

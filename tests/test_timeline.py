@@ -1,0 +1,64 @@
+"""Tests for the ASCII monotask timeline."""
+
+import pytest
+
+from repro import AnalyticsContext, MB, hdd_cluster
+from repro.datamodel import Partition
+from repro.errors import ModelError
+from repro.metrics import render_timeline
+
+
+def run_job():
+    cluster = hdd_cluster(num_machines=1)
+    payloads = [Partition.from_records([(i, i)], record_count=1,
+                                       data_bytes=64 * MB)
+                for i in range(8)]
+    cluster.dfs.create_file("input", payloads, [64 * MB] * 8)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    ctx.text_file("input").save_as_text_file("out")
+    return ctx
+
+
+class TestRenderTimeline:
+    def test_contains_all_lanes(self):
+        ctx = run_job()
+        text = render_timeline(ctx.metrics, ctx.last_result.job_id,
+                               machine_id=0, width=40)
+        assert "cpu" in text
+        assert "disk0" in text
+        assert "disk1" in text
+
+    def test_phases_visible(self):
+        ctx = run_job()
+        text = render_timeline(ctx.metrics, ctx.last_result.job_id,
+                               machine_id=0, width=60)
+        assert "r" in text  # input reads
+        assert "o" in text  # output writes
+        assert "C" in text  # compute
+
+    def test_width_respected(self):
+        ctx = run_job()
+        text = render_timeline(ctx.metrics, ctx.last_result.job_id,
+                               width=30)
+        lane_lines = [line for line in text.splitlines() if "|" in line]
+        for line in lane_lines:
+            inner = line.split("|")[1]
+            assert len(inner) == 30
+
+    def test_invalid_width(self):
+        ctx = run_job()
+        with pytest.raises(ModelError):
+            render_timeline(ctx.metrics, ctx.last_result.job_id, width=5)
+
+    def test_spark_job_has_no_timeline(self):
+        cluster = hdd_cluster(num_machines=1)
+        ctx = AnalyticsContext(cluster, engine="spark")
+        ctx.parallelize(range(4), num_partitions=2).count()
+        with pytest.raises(ModelError):
+            render_timeline(ctx.metrics, ctx.last_result.job_id)
+
+    def test_stage_filter(self):
+        ctx = run_job()
+        text = render_timeline(ctx.metrics, ctx.last_result.job_id,
+                               stage_id=0, width=30)
+        assert "job 0" in text
