@@ -9,6 +9,7 @@ Examples::
     python -m repro whatif --disks 4 --in-memory
     python -m repro diagnose --degrade-machine 3 --disk-factor 0.3
     python -m repro trace --output trace.json
+    python -m repro faults --crash-machine 1 --restart-after 20
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
 additionally exercise the §6 performance-clarity machinery.
@@ -102,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="trace.json")
     p.add_argument("--timeline", action="store_true",
                    help="also print the ASCII timeline")
+
+    p = sub.add_parser("faults",
+                       help="crash a machine mid-sort, watch recovery")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--tasks", type=int, default=32)
+    p.add_argument("--crash-machine", type=int, default=1)
+    p.add_argument("--crash-at", type=float, default=None,
+                   help="crash time in seconds (default: 30%% of the "
+                        "fault-free runtime)")
+    p.add_argument("--restart-after", type=float, default=15.0,
+                   help="seconds until the machine restarts (empty)")
+    p.add_argument("--no-restart", action="store_true",
+                   help="the machine never comes back")
+    p.add_argument("--speculation", action="store_true",
+                   help="enable straggler speculation")
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -236,6 +253,48 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultInjector, FaultPlan, MachineCrash, RecoveryPolicy
+    from repro.metrics.report import format_fault_report
+
+    if not 0 <= args.crash_machine < args.machines:
+        print(f"--crash-machine must be in [0, {args.machines})")
+        return 2
+    policy = RecoveryPolicy(speculation=args.speculation)
+    workload = SortWorkload(total_bytes=600 * GB * args.fraction,
+                            values_per_key=25,
+                            num_map_tasks=args.tasks)
+
+    def run_once(plan=None):
+        cluster = _make_cluster(args)
+        generate_sort_input(cluster, workload, seed=args.seed)
+        ctx = AnalyticsContext(cluster, engine=args.engine, recovery=policy)
+        if plan is not None:
+            FaultInjector(ctx.engine, plan).start()
+        result = run_sort(ctx, workload)
+        return ctx, result
+
+    ctx, baseline = run_once()
+    print(f"fault-free: {format_seconds(baseline.duration)} simulated on "
+          f"{ctx.cluster.describe()}")
+    crash_at = (args.crash_at if args.crash_at is not None
+                else baseline.duration * 0.3)
+    restart_after = None if args.no_restart else args.restart_after
+    plan = FaultPlan([MachineCrash(at=crash_at,
+                                   machine_id=args.crash_machine,
+                                   restart_after=restart_after)])
+    ctx, result = run_once(plan)
+    restart_note = (f", restart after {format_seconds(restart_after)}"
+                    if restart_after is not None else ", no restart")
+    print(f"crash machine {args.crash_machine} at "
+          f"{format_seconds(crash_at)}{restart_note}: "
+          f"{format_seconds(result.duration)} "
+          f"({result.duration / baseline.duration:.2f}x)")
+    print()
+    print(format_fault_report(ctx.metrics, result.job_id))
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -272,6 +331,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "diagnose": _cmd_diagnose,
     "trace": _cmd_trace,
+    "faults": _cmd_faults,
     "reproduce": _cmd_reproduce,
 }
 

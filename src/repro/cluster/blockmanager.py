@@ -56,6 +56,23 @@ class BlockManager:
         machine.memory.acquire(partition.data_bytes)
         self._blocks[key] = (machine_id, partition, fmt)
 
+    def invalidate_machine(self, machine_id: int) -> int:
+        """Drop every partition cached on a crashed machine.
+
+        The memory accounting is released (the machine restarts with an
+        empty heap); returns the number of partitions lost.  Lost cached
+        partitions are *not* recomputed automatically -- a later read
+        fails, like Spark with an unreplicated cache and no lineage
+        checkpoint.
+        """
+        keys = [key for key, (machine, _, _) in self._blocks.items()
+                if machine == machine_id]
+        for key in keys:
+            _, partition, _ = self._blocks.pop(key)
+            self.cluster.machine(machine_id).memory.release(
+                partition.data_bytes)
+        return len(keys)
+
     def evict_rdd(self, rdd_id: int) -> int:
         """Drop every cached partition of an RDD; returns count evicted."""
         keys = [key for key in self._blocks if key[0] == rdd_id]

@@ -75,6 +75,16 @@ class Cluster:
                 disk.spec,
                 throughput_bps=disk.spec.throughput_bps * disk_factor)
 
+    def restore_machine(self, machine_id: int) -> None:
+        """Undo :meth:`degrade_machine`: full-speed CPU and disks.
+
+        Used by transient-slowdown fault injection to end the slowdown.
+        """
+        machine = self.machine(machine_id)
+        machine.cpu.speed_factor = 1.0
+        for disk in machine.disks:
+            disk.spec = disk.base_spec
+
     def aggregate_disk_throughput_bps(self) -> float:
         """Sum of sequential disk bandwidth across the cluster."""
         return sum(m.aggregate_disk_throughput_bps() for m in self.machines)

@@ -57,28 +57,37 @@ class MapOutputRegistry:
     def __init__(self) -> None:
         #: shuffle_id -> reduce_index -> list of buckets (one per map task).
         self._buckets: Dict[int, Dict[int, List[ShuffleBucket]]] = {}
-        self._maps_registered: Dict[int, int] = {}
+        #: shuffle_id -> map_index -> (machine_id, disk_index).  This is
+        #: the lineage index: a machine crash invalidates entries here,
+        #: and the engine re-executes exactly the missing map tasks.
+        self._locations: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {}
         self._num_maps: Dict[int, int] = {}
 
     def expect_maps(self, shuffle_id: int, num_maps: int) -> None:
         """Declare how many map tasks the shuffle has (for completeness
         checks when reduce tasks start fetching)."""
         self._num_maps[shuffle_id] = num_maps
-        self._maps_registered.setdefault(shuffle_id, 0)
+        self._locations.setdefault(shuffle_id, {})
         self._buckets.setdefault(shuffle_id, {})
 
     def register_map_output(self, shuffle_id: int, map_index: int,
                             machine_id: int, disk_index: Optional[int],
                             buckets: Dict[int, Partition]) -> None:
-        """Record every bucket a map task produced."""
+        """Record every bucket a map task produced.
+
+        Re-registering a map index (a re-executed or speculative map
+        task) replaces the previous entry rather than duplicating it.
+        """
+        locations = self._locations.setdefault(shuffle_id, {})
+        if map_index in locations:
+            self._drop_map(shuffle_id, map_index)
         per_reduce = self._buckets.setdefault(shuffle_id, {})
         for reduce_index, partition in buckets.items():
             per_reduce.setdefault(reduce_index, []).append(ShuffleBucket(
                 shuffle_id=shuffle_id, map_index=map_index,
                 reduce_index=reduce_index, machine_id=machine_id,
                 disk_index=disk_index, partition=partition))
-        self._maps_registered[shuffle_id] = (
-            self._maps_registered.get(shuffle_id, 0) + 1)
+        locations[map_index] = (machine_id, disk_index)
 
     def buckets_for_reduce(self, shuffle_id: int,
                            reduce_index: int) -> List[ShuffleBucket]:
@@ -86,13 +95,55 @@ class MapOutputRegistry:
         if shuffle_id not in self._buckets:
             raise ShuffleError(f"unknown shuffle {shuffle_id}")
         expected = self._num_maps.get(shuffle_id)
-        registered = self._maps_registered.get(shuffle_id, 0)
+        registered = len(self._locations.get(shuffle_id, {}))
         if expected is not None and registered < expected:
             raise ShuffleError(
                 f"shuffle {shuffle_id}: only {registered}/{expected} map "
                 f"outputs registered")
         buckets = self._buckets[shuffle_id].get(reduce_index, [])
         return sorted(buckets, key=lambda b: b.map_index)
+
+    # -- lineage invalidation (fault recovery) ------------------------------
+
+    def missing_maps(self, shuffle_id: int) -> List[int]:
+        """Map indices whose output is currently unregistered."""
+        expected = self._num_maps.get(shuffle_id)
+        if expected is None:
+            return []
+        present = self._locations.get(shuffle_id, {})
+        return [index for index in range(expected) if index not in present]
+
+    def invalidate_machine(self, machine_id: int) -> List[Tuple[int, int]]:
+        """Drop every map output stored on a crashed machine.
+
+        Returns the (shuffle_id, map_index) pairs lost, which become the
+        lineage the engine must re-execute.
+        """
+        lost: List[Tuple[int, int]] = []
+        for shuffle_id, locations in self._locations.items():
+            for map_index, (machine, _disk) in list(locations.items()):
+                if machine == machine_id:
+                    self._drop_map(shuffle_id, map_index)
+                    lost.append((shuffle_id, map_index))
+        return lost
+
+    def invalidate_disk(self, machine_id: int,
+                        disk_index: int) -> List[Tuple[int, int]]:
+        """Drop map outputs written to one failed disk (in-memory
+        buckets on the machine survive)."""
+        lost: List[Tuple[int, int]] = []
+        for shuffle_id, locations in self._locations.items():
+            for map_index, (machine, disk) in list(locations.items()):
+                if machine == machine_id and disk == disk_index:
+                    self._drop_map(shuffle_id, map_index)
+                    lost.append((shuffle_id, map_index))
+        return lost
+
+    def _drop_map(self, shuffle_id: int, map_index: int) -> None:
+        self._locations[shuffle_id].pop(map_index, None)
+        per_reduce = self._buckets.get(shuffle_id, {})
+        for buckets in per_reduce.values():
+            buckets[:] = [b for b in buckets if b.map_index != map_index]
 
     def total_shuffle_bytes(self, shuffle_id: int) -> float:
         """All registered bytes of one shuffle."""

@@ -6,12 +6,21 @@ shuffle registry / block manager, and result assembly.  Subclasses
 implement two things only: how many multitasks to assign concurrently to
 each machine (§3.4) and how one task actually uses the hardware -- which
 is precisely the axis the paper varies.
+
+Fault recovery is also shared: the :class:`TaskPool` tracks *attempts*
+(retry with bounded exponential backoff, speculation, first finisher
+wins), and :class:`BaseEngine` provides the crash/restart entry points
+(:meth:`BaseEngine.crash_machine`) plus lineage-based re-execution of
+lost map output.  Behavior is controlled by a
+:class:`~repro.faults.policy.RecoveryPolicy`; with the default policy
+and no injected faults, execution is identical to a recovery-free run.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+from typing import (Any, Callable, Deque, Dict, FrozenSet, Generator,
+                    Iterator, List, Optional, Set, Tuple)
 
 from repro.api.plan import (CachedInput, CollectOutput, DfsInput, DfsOutput,
                             JobPlan, LocalInput, ShuffleInput, ShuffleOutput,
@@ -24,9 +33,12 @@ from repro.datamodel.records import Partition
 from repro.datamodel.serialization import DESERIALIZED
 from repro.datamodel.shuffle import MapOutputRegistry
 from repro.engine.semantics import ResolvedInput, TaskWork, compute_task_work
-from repro.errors import ExecutionError
+from repro.errors import (ExecutionError, FaultError, FetchFailed,
+                          Interrupted, ReproError, TaskFailedError)
+from repro.faults.policy import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
-from repro.simulator import Environment, Event
+from repro.metrics.events import SpeculationRecord, TaskAttemptRecord
+from repro.simulator import Environment, Event, Process
 
 __all__ = ["JobResult", "TaskPool", "BaseEngine"]
 
@@ -60,23 +72,76 @@ class JobResult:
         return records
 
 
+class _Attempt:
+    """One try at running a task on one machine."""
+
+    __slots__ = ("state", "number", "speculative", "avoid", "process",
+                 "machine_id", "started_at")
+
+    def __init__(self, state: "_TaskState", number: int,
+                 speculative: bool = False,
+                 avoid: FrozenSet[int] = frozenset()) -> None:
+        self.state = state
+        self.number = number
+        self.speculative = speculative
+        #: Machines this attempt should not be placed on (speculative
+        #: copies avoid the straggler's machine).
+        self.avoid = avoid
+        self.process: Optional[Process] = None
+        self.machine_id: Optional[int] = None
+        self.started_at: float = 0.0
+
+
+class _TaskState:
+    """A task's retry/speculation bookkeeping across attempts."""
+
+    __slots__ = ("descriptor", "done", "failures", "fetch_failures",
+                 "active", "finished", "committed", "speculated",
+                 "completed_duration", "next_attempt")
+
+    def __init__(self, descriptor: TaskDescriptor, done: Event) -> None:
+        self.descriptor = descriptor
+        self.done = done
+        self.failures = 0
+        self.fetch_failures = 0
+        #: attempt number -> running _Attempt.
+        self.active: Dict[int, _Attempt] = {}
+        self.finished = False
+        self.committed = False
+        self.speculated = False
+        self.completed_duration: Optional[float] = None
+        self.next_attempt = 1
+
+
 class TaskPool:
-    """Assigns pending tasks to per-machine execution slots.
+    """Assigns pending task attempts to per-machine execution slots.
 
     ``concurrency[machine_id]`` tasks run concurrently on each machine.
     A central dispatcher (standing in for the job scheduler's driver)
-    assigns pending tasks in FIFO order, placing each on the free
+    assigns pending attempts in FIFO order, placing each on the free
     machine it prefers (data locality) when possible and otherwise on
     the free machine with the most idle slots.  Spark would wait out a
     locality delay before running a task remotely; immediate remote
     placement approximates the expired-delay case and keeps both
     engines' placement identical.
+
+    Failure handling follows the ``recovery`` policy: attempts that
+    raise retry with exponential backoff until ``max_attempts``;
+    attempts killed by a crash or a lost speculation race requeue for
+    free; fetch failures run the ``on_fetch_failed`` recovery hook
+    (lineage re-execution) before retrying.  The first attempt to
+    finish wins -- it claims the commit via :meth:`try_claim_commit`
+    and any other live attempt of the task is interrupted.
     """
 
     def __init__(self, env: Environment, machines: List[Machine],
                  concurrency: Dict[int, int],
                  run_task: Callable[[TaskDescriptor, Machine], Generator],
-                 policy: str = "fifo") -> None:
+                 policy: str = "fifo",
+                 recovery: Optional[RecoveryPolicy] = None,
+                 metrics: Optional[MetricsCollector] = None,
+                 on_fetch_failed: Optional[
+                     Callable[[FetchFailed], Generator]] = None) -> None:
         if policy not in ("fifo", "fair"):
             raise ExecutionError(f"unknown scheduling policy: {policy!r}")
         self.env = env
@@ -86,67 +151,287 @@ class TaskPool:
         #: round-robins across jobs (the §8 "share machines between
         #: different users" policy).
         self.policy = policy
-        self.pending: Deque[TaskDescriptor] = deque()
+        self.recovery = recovery or RecoveryPolicy()
+        self.metrics = metrics
+        #: Generator called with a FetchFailed before the retry; used by
+        #: the engine to re-execute the lineage of lost map output.
+        self.on_fetch_failed = on_fetch_failed
+        self.pending: Deque[_Attempt] = deque()
         self.free_slots: Dict[int, int] = dict(concurrency)
-        self._done: Dict[str, Event] = {}
+        self._states: Dict[str, _TaskState] = {}
+        self._dead: Set[int] = set()
         self._last_job_served: Optional[int] = None
 
     def submit(self, descriptor: TaskDescriptor) -> Event:
         """Queue a task; the event fires when it completes."""
         done = self.env.event()
-        self._done[descriptor.task_id] = done
-        self.pending.append(descriptor)
+        state = _TaskState(descriptor, done)
+        self._states[descriptor.task_id] = state
+        self._requeue(state)
         self._dispatch()
         return done
 
-    def _next_pending(self) -> Optional[TaskDescriptor]:
-        """The task to place next, honoring the scheduling policy."""
+    # -- fault-recovery API --------------------------------------------------------
+
+    def try_claim_commit(self, task_id: str) -> bool:
+        """First-finisher-wins: True exactly once per task.
+
+        An attempt must claim the commit before publishing its outputs,
+        so a speculation loser (or an attempt that survived past a
+        crash) cannot register a second copy.
+        """
+        state = self._states.get(task_id)
+        if state is None or state.committed or state.finished:
+            return False
+        state.committed = True
+        return True
+
+    def resubmit(self, descriptor: TaskDescriptor) -> Event:
+        """Re-execute a completed task (lineage recovery).
+
+        If the task is already pending or running again, returns the
+        existing completion event instead of queueing a duplicate.
+        """
+        state = self._states.get(descriptor.task_id)
+        if state is not None and not state.done.triggered:
+            return state.done
+        done = self.env.event()
+        state = _TaskState(descriptor, done)
+        self._states[descriptor.task_id] = state
+        self._requeue(state)
+        self._dispatch()
+        return done
+
+    def set_machine_dead(self, machine_id: int) -> None:
+        """Stop placing work on a machine and kill its running attempts."""
+        self._dead.add(machine_id)
+        for state in self._states.values():
+            for attempt in list(state.active.values()):
+                if attempt.machine_id != machine_id:
+                    continue
+                process = attempt.process
+                if process is not None and process.is_alive \
+                        and process.target is not None:
+                    process.interrupt(cause="machine-crash")
+
+    def set_machine_alive(self, machine_id: int) -> None:
+        """A machine restarted: resume placing work on it."""
+        self._dead.discard(machine_id)
+        self._dispatch()
+
+    def speculate(self, task_id: str) -> bool:
+        """Launch a duplicate attempt of a straggling task.
+
+        Refused (returns False) unless the task has exactly one running
+        attempt, no pending attempt, and has not been speculated before.
+        The duplicate avoids the straggler's machine; whichever attempt
+        finishes first wins and the other is interrupted.
+        """
+        state = self._states.get(task_id)
+        if state is None or state.finished or state.speculated:
+            return False
+        if len(state.active) != 1:
+            return False
+        if any(attempt.state is state for attempt in self.pending):
+            return False
+        original = next(iter(state.active.values()))
+        if original.machine_id is None:
+            return False
+        state.speculated = True
+        attempt = _Attempt(state, state.next_attempt, speculative=True,
+                           avoid=frozenset({original.machine_id}))
+        state.next_attempt += 1
+        self.pending.append(attempt)
+        if self.metrics is not None:
+            descriptor = state.descriptor
+            self.metrics.record_speculation(SpeculationRecord(
+                job_id=descriptor.job_id, stage_id=descriptor.stage_id,
+                task_index=descriptor.index, at=self.env.now,
+                original_machine_id=original.machine_id))
+        self._dispatch()
+        return True
+
+    def stage_progress(self, job_id: int, stage_id: int
+                       ) -> Tuple[List[float], List[Tuple[str, float]]]:
+        """(completed durations, running (task_id, started_at)) of a stage."""
+        completed: List[float] = []
+        running: List[Tuple[str, float]] = []
+        for state in self._states.values():
+            descriptor = state.descriptor
+            if descriptor.job_id != job_id or \
+                    descriptor.stage_id != stage_id:
+                continue
+            if state.finished and state.completed_duration is not None:
+                completed.append(state.completed_duration)
+            else:
+                for attempt in state.active.values():
+                    running.append((descriptor.task_id, attempt.started_at))
+        return completed, running
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _requeue(self, state: _TaskState, speculative: bool = False,
+                 avoid: FrozenSet[int] = frozenset()) -> _Attempt:
+        attempt = _Attempt(state, state.next_attempt, speculative, avoid)
+        state.next_attempt += 1
+        self.pending.append(attempt)
+        return attempt
+
+    def _next_pending(self) -> Optional[_Attempt]:
+        """The attempt to place next, honoring the scheduling policy."""
         if not self.pending:
             return None
         if self.policy == "fifo":
             return self.pending[0]
         # Fair: prefer the next job after the one served last.
-        job_ids = sorted({task.job_id for task in self.pending})
+        job_ids = sorted({a.state.descriptor.job_id for a in self.pending})
         if self._last_job_served in job_ids:
             start = job_ids.index(self._last_job_served) + 1
         else:
             start = 0
         target = job_ids[start % len(job_ids)]
-        for task in self.pending:
-            if task.job_id == target:
-                return task
+        for attempt in self.pending:
+            if attempt.state.descriptor.job_id == target:
+                return attempt
         return self.pending[0]
 
-    def _choose_machine(self, task: TaskDescriptor) -> Optional[int]:
+    def _usable(self, machine_id: int, attempt: _Attempt) -> bool:
+        return (machine_id not in self._dead
+                and machine_id not in attempt.avoid
+                and self.free_slots.get(machine_id, 0) > 0)
+
+    def _choose_machine(self, attempt: _Attempt) -> Optional[int]:
         """Freest preferred machine, else the freest machine overall."""
+        task = attempt.state.descriptor
         preferred = [m for m in task.preferred_machines
-                     if self.free_slots.get(m, 0) > 0]
+                     if self._usable(m, attempt)]
         if preferred:
             return max(preferred, key=lambda m: (self.free_slots[m], -m))
-        candidates = [m for m, free in self.free_slots.items() if free > 0]
+        candidates = [m for m in self.free_slots
+                      if self._usable(m, attempt)]
         if not candidates:
             return None
         return max(candidates, key=lambda m: (self.free_slots[m], -m))
 
     def _dispatch(self) -> None:
-        # Place tasks until the next candidate is unplaceable, so the
+        # Place attempts until the next candidate is unplaceable, so the
         # policy's ordering is respected (like a driver's task queue).
         while self.pending:
-            task = self._next_pending()
-            machine_id = self._choose_machine(task)
+            attempt = self._next_pending()
+            machine_id = self._choose_machine(attempt)
             if machine_id is None:
                 return
-            self.pending.remove(task)
-            self._last_job_served = task.job_id
+            self.pending.remove(attempt)
+            state = attempt.state
+            self._last_job_served = state.descriptor.job_id
             self.free_slots[machine_id] -= 1
-            self.env.process(self._run(task, self.machines[machine_id]))
+            attempt.machine_id = machine_id
+            attempt.started_at = self.env.now
+            state.active[attempt.number] = attempt
+            attempt.process = self.env.process(
+                self._run(attempt, self.machines[machine_id]))
 
-    def _run(self, task: TaskDescriptor, machine: Machine) -> Generator:
+    # -- attempt lifecycle ---------------------------------------------------------
+
+    def _run(self, attempt: _Attempt, machine: Machine) -> Generator:
+        state = attempt.state
+        outcome = "success"
+        error: Optional[BaseException] = None
         try:
-            yield self.env.process(self.run_task(task, machine))
+            # The machine may have crashed between dispatch and startup.
+            if machine.machine_id in self._dead:
+                raise Interrupted("machine-crash")
+            # Run the task body *inline* (not as a child process) so an
+            # interrupt lands in the frame doing the work and unwinds
+            # its finally blocks before any commit can happen.
+            yield from self.run_task(state.descriptor, machine)
+        except FetchFailed as exc:
+            outcome, error = "fetch-failed", exc
+        except Interrupted as exc:
+            outcome, error = "killed", exc
+        except ReproError as exc:
+            outcome, error = "failed", exc
         finally:
+            # Anything else propagates and fails the run loudly.
             self.free_slots[machine.machine_id] += 1
-        self._done.pop(task.task_id).succeed()
+            state.active.pop(attempt.number, None)
+        self._record_attempt(attempt, outcome, error)
+        if outcome == "success":
+            if not state.finished:
+                state.finished = True
+                state.completed_duration = self.env.now - attempt.started_at
+                for loser in list(state.active.values()):
+                    process = loser.process
+                    if process is not None and process.is_alive \
+                            and process.target is not None:
+                        process.interrupt(cause="speculation-lost")
+                state.done.succeed()
+        else:
+            self._handle_failure(state, outcome, error)
+        self._dispatch()
+
+    def _record_attempt(self, attempt: _Attempt, outcome: str,
+                        error: Optional[BaseException]) -> None:
+        if self.metrics is None:
+            return
+        if error is None:
+            detail = ""
+        elif isinstance(error, Interrupted):
+            detail = str(error.cause) if error.cause is not None \
+                else "interrupted"
+        else:
+            detail = type(error).__name__
+        descriptor = attempt.state.descriptor
+        self.metrics.record_task_attempt(TaskAttemptRecord(
+            job_id=descriptor.job_id, stage_id=descriptor.stage_id,
+            task_index=descriptor.index, attempt=attempt.number,
+            machine_id=attempt.machine_id
+            if attempt.machine_id is not None else -1,
+            start=attempt.started_at, end=self.env.now, outcome=outcome,
+            speculative=attempt.speculative, detail=detail))
+
+    def _handle_failure(self, state: _TaskState, outcome: str,
+                        error: Optional[BaseException]) -> None:
+        if state.finished or state.done.triggered:
+            return
+        if state.active:
+            return  # Another attempt of the task is still running.
+        task_id = state.descriptor.task_id
+        if outcome == "killed":
+            # Crash/speculation kills are nobody's fault: retry now,
+            # without burning an attempt.
+            self._requeue(state)
+            return
+        if outcome == "fetch-failed" and self.on_fetch_failed is not None:
+            state.fetch_failures += 1
+            if state.fetch_failures > self.recovery.max_fetch_retries:
+                state.done.fail(TaskFailedError(
+                    f"task {task_id}: shuffle input still missing after "
+                    f"{self.recovery.max_fetch_retries} recoveries"))
+                return
+            self.env.process(self._recover_and_requeue(state, error))
+            return
+        state.failures += 1
+        if state.failures >= self.recovery.max_attempts:
+            state.done.fail(TaskFailedError(
+                f"task {task_id} failed after {state.failures} "
+                f"attempts: {error}"))
+            return
+        self.env.process(self._backoff_and_requeue(state))
+
+    def _backoff_and_requeue(self, state: _TaskState) -> Generator:
+        yield self.env.timeout(self.recovery.backoff_s(state.failures))
+        if state.done.triggered:
+            return
+        self._requeue(state)
+        self._dispatch()
+
+    def _recover_and_requeue(self, state: _TaskState,
+                             error: FetchFailed) -> Generator:
+        yield from self.on_fetch_failed(error)
+        if state.done.triggered:
+            return
+        self._requeue(state)
         self._dispatch()
 
 
@@ -158,11 +443,13 @@ class BaseEngine:
     def __init__(self, cluster: Cluster,
                  cost_model: Optional[CostModel] = None,
                  metrics: Optional[MetricsCollector] = None,
-                 scheduling_policy: str = "fifo") -> None:
+                 scheduling_policy: str = "fifo",
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.cost = cost_model or CostModel()
         self.metrics = metrics or MetricsCollector()
+        self.recovery = recovery or RecoveryPolicy()
         self.block_manager = BlockManager(cluster)
         self.map_outputs = MapOutputRegistry()
         #: (job_id, stage_id, task_index) -> collected records / count.
@@ -170,10 +457,17 @@ class BaseEngine:
         #: job_id -> [(machine_id, bytes)] of in-memory shuffle data,
         #: released when the job completes (shuffles are intra-job).
         self._in_memory_shuffle: Dict[int, List[Tuple[int, float]]] = {}
+        #: job_id -> plan, kept for lineage re-execution.
+        self._plans: Dict[int, JobPlan] = {}
+        #: shuffle_id -> in-flight recovery barrier (dedupes recoveries).
+        self._recovering: Dict[int, Event] = {}
+        self._dead_machines: Set[int] = set()
         self.pool = TaskPool(
             self.env, cluster.machines,
             {m.machine_id: self.concurrency_for(m) for m in cluster.machines},
-            self._execute_task, policy=scheduling_policy)
+            self._execute_task, policy=scheduling_policy,
+            recovery=self.recovery, metrics=self.metrics,
+            on_fetch_failed=self._recover_fetch)
 
     # -- subclass hooks ------------------------------------------------------------
 
@@ -183,8 +477,17 @@ class BaseEngine:
 
     def run_task_on_machine(self, work: TaskWork,
                             machine: Machine) -> Generator:
-        """Drive one task's resource use; must yield simulation events."""
+        """Drive one task's resource use; must yield simulation events.
+
+        Returns the disk index the task's output was written to (or
+        None); the engine commits outputs after the attempt wins."""
         raise NotImplementedError
+
+    def _fail_worker(self, machine_id: int) -> None:
+        """Engine-specific crash hook (monospark kills its schedulers)."""
+
+    def _revive_worker(self, machine_id: int) -> None:
+        """Engine-specific restart hook."""
 
     # -- public API ---------------------------------------------------------------
 
@@ -195,10 +498,95 @@ class BaseEngine:
     def run_jobs(self, plans: List[JobPlan]) -> List[JobResult]:
         """Run jobs concurrently; returns once all complete."""
         results: Dict[int, JobResult] = {}
+        for plan in plans:
+            self._plans[plan.job_id] = plan
         drivers = [self.env.process(self._job_driver(plan, results))
                    for plan in plans]
         self.env.run(until=self.env.all_of(drivers))
         return [results[plan.job_id] for plan in plans]
+
+    # -- fault entry points --------------------------------------------------------
+
+    def crash_machine(self, machine_id: int) -> None:
+        """Fail-stop one machine: lose its volatile state and in-flight
+        work, kill its attempts, and invalidate data it was serving.
+
+        Ordering matters: running attempts are interrupted *before* the
+        hardware fails, so their interrupts (not cascading hardware
+        errors) unwind them; registries are invalidated synchronously so
+        any task resolving inputs afterwards sees the loss immediately.
+        """
+        if machine_id in self._dead_machines:
+            return
+        machine = self.cluster.machine(machine_id)
+        self._dead_machines.add(machine_id)
+        self.pool.set_machine_dead(machine_id)
+        self._fail_worker(machine_id)
+        for disk in machine.disks:
+            disk.fail_all()
+        machine.cache.crash()
+        self.cluster.network.set_machine_up(machine_id, False)
+        self.cluster.network.fail_machine(machine_id)
+        self.map_outputs.invalidate_machine(machine_id)
+        self.block_manager.invalidate_machine(machine_id)
+        self._drop_in_memory_shuffle(machine_id)
+
+    def restart_machine(self, machine_id: int) -> None:
+        """Bring a crashed machine back, empty but healthy.
+
+        Data on its disks (DFS blocks) is readable again; everything
+        that lived in memory stays lost."""
+        if machine_id not in self._dead_machines:
+            return
+        machine = self.cluster.machine(machine_id)
+        self._dead_machines.discard(machine_id)
+        for disk in machine.disks:
+            disk.revive()
+        self.cluster.network.set_machine_up(machine_id, True)
+        self._revive_worker(machine_id)
+        self.pool.set_machine_alive(machine_id)
+
+    def fail_disk(self, machine_id: int, disk_index: int) -> None:
+        """Fail one disk permanently; shuffle output on it is lost."""
+        machine = self.cluster.machine(machine_id)
+        machine.disks[disk_index].fail_all()
+        self.map_outputs.invalidate_disk(machine_id, disk_index)
+
+    # -- lineage re-execution ------------------------------------------------------
+
+    def _recover_fetch(self, error: FetchFailed) -> Generator:
+        """Re-run the map tasks whose output a reducer found missing.
+
+        Recoveries are deduplicated per shuffle: concurrent fetch
+        failures of the same shuffle wait on one recovery barrier.
+        """
+        shuffle_id = error.shuffle_id
+        existing = self._recovering.get(shuffle_id)
+        if existing is not None and not existing.triggered:
+            yield existing
+            return
+        barrier = self.env.event()
+        self._recovering[shuffle_id] = barrier
+        try:
+            missing = set(self.map_outputs.missing_maps(shuffle_id))
+            dones = [self.pool.resubmit(descriptor)
+                     for descriptor in self._map_descriptors(shuffle_id)
+                     if descriptor.index in missing]
+            if dones:
+                yield self.env.all_of(dones)
+        finally:
+            if not barrier.triggered:
+                barrier.succeed()
+
+    def _map_descriptors(self, shuffle_id: int) -> Iterator[TaskDescriptor]:
+        """The map-side task descriptors of a shuffle, from saved plans."""
+        for plan in self._plans.values():
+            for stage in plan.stages:
+                for task in stage.tasks:
+                    output = task.output
+                    if isinstance(output, ShuffleOutput) and \
+                            output.shuffle_id == shuffle_id:
+                        yield task
 
     # -- job driving ---------------------------------------------------------------
 
@@ -228,6 +616,17 @@ class BaseEngine:
         for machine_id, nbytes in self._in_memory_shuffle.pop(job_id, []):
             self.cluster.machine(machine_id).memory.release(nbytes)
 
+    def _drop_in_memory_shuffle(self, machine_id: int) -> None:
+        """A crash loses in-memory shuffle data held on the machine."""
+        for job_id, entries in self._in_memory_shuffle.items():
+            kept: List[Tuple[int, float]] = []
+            for mid, nbytes in entries:
+                if mid == machine_id:
+                    self.cluster.machine(mid).memory.release(nbytes)
+                else:
+                    kept.append((mid, nbytes))
+            self._in_memory_shuffle[job_id] = kept
+
     def _prepare_outputs(self, plan: JobPlan) -> None:
         for stage in plan.stages:
             for task in stage.tasks:
@@ -251,9 +650,41 @@ class BaseEngine:
                                    stage.num_tasks, self.env.now)
         task_events = [self.pool.submit(task) for task in stage.tasks]
         if task_events:
-            yield self.env.all_of(task_events)
+            barrier = self.env.all_of(task_events)
+            if self.recovery.speculation and len(stage.tasks) > 1:
+                self.env.process(
+                    self._speculation_monitor(plan.job_id, stage, barrier))
+            yield barrier
         self.metrics.stage_finished(plan.job_id, stage.stage_id, self.env.now)
         stage_done[stage.stage_id].succeed()
+
+    def _speculation_monitor(self, job_id: int, stage: Stage,
+                             barrier: Event) -> Generator:
+        """Launch duplicates of stragglers until the stage finishes.
+
+        A running task is a straggler once enough siblings completed and
+        it has run longer than ``multiplier`` x the ``percentile`` of
+        their durations (the policy's knobs)."""
+        policy = self.recovery
+        while not barrier.triggered:
+            yield self.env.timeout(policy.speculation_interval_s)
+            if barrier.triggered:
+                return
+            completed, running = self.pool.stage_progress(
+                job_id, stage.stage_id)
+            if not running:
+                continue
+            needed = max(
+                2.0, stage.num_tasks * policy.speculation_min_completed_fraction)
+            if len(completed) < needed:
+                continue
+            durations = sorted(completed)
+            index = min(len(durations) - 1,
+                        int(len(durations) * policy.speculation_percentile))
+            threshold = durations[index] * policy.speculation_multiplier
+            for task_id, started_at in running:
+                if self.env.now - started_at > threshold:
+                    self.pool.speculate(task_id)
 
     # -- task execution wrapper -----------------------------------------------------
 
@@ -264,9 +695,30 @@ class BaseEngine:
         record = self.metrics.task_started(
             descriptor.job_id, descriptor.stage_id, descriptor.index,
             machine.machine_id, self.env.now)
-        yield self.env.process(self.run_task_on_machine(work, machine))
-        record.end = self.env.now
-        self._finalize_task(work, machine)
+        try:
+            out_disk = yield from self.run_task_on_machine(work, machine)
+        finally:
+            record.end = self.env.now
+        if self.pool.try_claim_commit(descriptor.task_id):
+            self._commit_outputs(work, machine, out_disk)
+            self._finalize_task(work, machine)
+
+    def _commit_outputs(self, work: TaskWork, machine: Machine,
+                        out_disk: Optional[int]) -> None:
+        """Publish a winning attempt's outputs (exactly once per task)."""
+        output = work.descriptor.output
+        if isinstance(output, ShuffleOutput):
+            if output.in_memory:
+                # Shuffle data stays resident until the job ends.
+                self.note_in_memory_shuffle(
+                    work.descriptor.job_id, machine,
+                    work.output_stored_bytes)
+                self.register_shuffle_output(work, machine, None)
+            else:
+                self.register_shuffle_output(work, machine, out_disk)
+        elif isinstance(output, DfsOutput):
+            self.register_dfs_output(
+                work, machine, out_disk if out_disk is not None else 0)
 
     def _finalize_task(self, work: TaskWork, machine: Machine) -> None:
         descriptor = work.descriptor
@@ -304,6 +756,11 @@ class BaseEngine:
         if isinstance(spec, ShuffleInput):
             resolved = []
             for dep in spec.deps:
+                missing = self.map_outputs.missing_maps(dep.shuffle_id)
+                if missing:
+                    # Lost map output (crash/disk failure): the pool will
+                    # run lineage recovery and retry this task.
+                    raise FetchFailed(dep.shuffle_id, missing)
                 for bucket in self.map_outputs.buckets_for_reduce(
                         dep.shuffle_id, spec.reduce_index):
                     resolved.append(ResolvedInput(
@@ -326,12 +783,19 @@ class BaseEngine:
         if not isinstance(payload, Partition):
             raise ExecutionError(
                 f"DFS block {block.block_id} has no partition payload")
-        if machine.machine_id in block.machines():
-            location = machine.machine_id
-            disk_index = block.disk_on(machine.machine_id)
+        live = [(m, d) for (m, d) in block.replicas
+                if m not in self._dead_machines
+                and not self.cluster.machine(m).disks[d].dead]
+        if not live:
+            raise FaultError(
+                f"no live replica of DFS block {block.block_id}")
+        for replica_machine, replica_disk in live:
+            if replica_machine == machine.machine_id:
+                location, disk_index = replica_machine, replica_disk
+                break
         else:
-            # Remote read from the first replica.
-            location, disk_index = block.replicas[0]
+            # Remote read from the first live replica.
+            location, disk_index = live[0]
         return ResolvedInput(partition=payload, stored_bytes=block.nbytes,
                              fmt=spec.fmt, machine_id=location,
                              disk_index=disk_index)

@@ -58,5 +58,36 @@ class ShuffleError(ExecutionError):
     """Shuffle data was requested that was never registered."""
 
 
+class FaultError(ExecutionError):
+    """Work was lost to an injected hardware fault."""
+
+
+class MachineFailure(FaultError):
+    """A machine crashed while work was running on or against it."""
+
+
+class DiskFailure(FaultError):
+    """A disk failed with requests outstanding."""
+
+
+class FetchFailed(ExecutionError):
+    """A reduce task found map output missing (lost with its machine).
+
+    The engine reacts by re-registering the shuffle's lineage: the lost
+    map tasks are re-executed before the reduce task is retried, mirroring
+    Spark's FetchFailed / map-output-recompute path.
+    """
+
+    def __init__(self, shuffle_id: int, missing) -> None:
+        self.shuffle_id = shuffle_id
+        self.missing = sorted(missing)
+        super().__init__(
+            f"shuffle {shuffle_id}: map outputs {self.missing} missing")
+
+
+class TaskFailedError(ExecutionError):
+    """A task exhausted its retry budget."""
+
+
 class ModelError(ReproError):
     """The performance model was given inconsistent measurements."""

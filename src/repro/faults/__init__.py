@@ -1,0 +1,24 @@
+"""Deterministic fault injection and recovery.
+
+The paper argues monotasks make *performance* comprehensible; this
+package makes *failures* comprehensible the same way: faults are data
+(:class:`FaultPlan`), injection is a deterministic simulation process
+(:class:`FaultInjector`), and recovery behavior is a frozen policy
+(:class:`RecoveryPolicy`).  The same workload + plan + seed always
+produces the same trace, injected faults included.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (DiskFault, FaultPlan, MachineCrash,
+                               TransientSlowdown, random_plan)
+from repro.faults.policy import RecoveryPolicy
+
+__all__ = [
+    "DiskFault",
+    "FaultInjector",
+    "FaultPlan",
+    "MachineCrash",
+    "RecoveryPolicy",
+    "TransientSlowdown",
+    "random_plan",
+]

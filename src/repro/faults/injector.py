@@ -1,0 +1,69 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a running engine.
+
+One driver process walks the sorted plan, sleeping until each fault's
+time and invoking the engine's fault entry points
+(:meth:`crash_machine`, :meth:`fail_disk`) or the cluster's degradation
+knobs.  Restarts and recoveries are scheduled as separate processes so
+a crash-with-restart does not block later faults.  Every action is
+recorded as a :class:`~repro.metrics.events.FaultEventRecord` so traces
+under the same (plan, seed) are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.faults.plan import (DiskFault, FaultPlan, MachineCrash,
+                               TransientSlowdown)
+from repro.metrics.events import FaultEventRecord
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives a fault plan against an engine during a run."""
+
+    def __init__(self, engine, plan: FaultPlan) -> None:
+        self.engine = engine
+        self.env = engine.env
+        self.plan = plan
+
+    def start(self) -> None:
+        """Spawn the driver process; call before ``run_jobs``."""
+        self.env.process(self._drive())
+
+    def _record(self, kind: str, machine_id: int, detail: str = "") -> None:
+        self.engine.metrics.record_fault(FaultEventRecord(
+            kind=kind, machine_id=machine_id, at=self.env.now, detail=detail))
+
+    def _drive(self) -> Generator:
+        for fault in self.plan:
+            if fault.at > self.env.now:
+                yield self.env.timeout(fault.at - self.env.now)
+            if isinstance(fault, MachineCrash):
+                self.engine.crash_machine(fault.machine_id)
+                self._record("machine-crash", fault.machine_id)
+                if fault.restart_after is not None:
+                    self.env.process(self._restart(fault))
+            elif isinstance(fault, DiskFault):
+                self.engine.fail_disk(fault.machine_id, fault.disk_index)
+                self._record("disk-failure", fault.machine_id,
+                             detail=f"disk {fault.disk_index}")
+            elif isinstance(fault, TransientSlowdown):
+                self.engine.cluster.degrade_machine(
+                    fault.machine_id,
+                    cpu_factor=1.0 / fault.cpu_factor,
+                    disk_factor=1.0 / fault.disk_factor)
+                self._record("slowdown", fault.machine_id,
+                             detail=f"for {fault.duration:g}s")
+                self.env.process(self._restore(fault))
+
+    def _restart(self, fault: MachineCrash) -> Generator:
+        yield self.env.timeout(fault.restart_after)
+        self.engine.restart_machine(fault.machine_id)
+        self._record("machine-restart", fault.machine_id)
+
+    def _restore(self, fault: TransientSlowdown) -> Generator:
+        yield self.env.timeout(fault.duration)
+        self.engine.cluster.restore_machine(fault.machine_id)
+        self._record("slowdown-end", fault.machine_id)

@@ -1,0 +1,48 @@
+"""Retry, backoff, and speculation knobs for fault recovery.
+
+The engines recover from injected faults (``repro.faults.plan``) the way
+Spark does: failed attempts retry with bounded exponential backoff,
+missing map output triggers lineage re-execution, and stragglers can be
+speculatively duplicated.  Everything is a plain number here so a run is
+reproducible from (workload, plan, policy, seed) alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the engine responds to task failures and stragglers."""
+
+    #: Give up on a task after this many genuinely failed attempts
+    #: (killed attempts -- crashes, lost speculation races -- are free).
+    max_attempts: int = 4
+    #: Exponential backoff before retrying a failed attempt.
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 10.0
+    #: Fetch failures re-run lineage rather than burning attempts, but
+    #: are still bounded to catch unrecoverable shuffles.
+    max_fetch_retries: int = 8
+    #: Speculation is off by default so fault-free runs are identical
+    #: to runs without any recovery machinery.
+    speculation: bool = False
+    #: How often the stage monitor looks for stragglers.
+    speculation_interval_s: float = 1.0
+    #: Fraction of a stage's tasks that must have completed before any
+    #: running task can be called a straggler.
+    speculation_min_completed_fraction: float = 0.5
+    #: A running task is overdue when it has run longer than
+    #: ``multiplier`` x the ``percentile`` of completed durations.
+    speculation_percentile: float = 0.75
+    speculation_multiplier: float = 1.5
+
+    def backoff_s(self, failures: int) -> float:
+        """Delay before retry number ``failures`` (1-based)."""
+        delay = self.backoff_base_s * (
+            self.backoff_factor ** max(failures - 1, 0))
+        return min(self.backoff_max_s, delay)

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.metrics.events import (CPU, DISK, NETWORK, JobRecord,
-                                  MonotaskRecord, ResourceUsageRecord,
-                                  StageRecord, TaskRecord)
+from repro.metrics.events import (CPU, DISK, NETWORK, FaultEventRecord,
+                                  JobRecord, MonotaskRecord,
+                                  ResourceUsageRecord, SpeculationRecord,
+                                  StageRecord, TaskAttemptRecord, TaskRecord)
 
 __all__ = ["MetricsCollector"]
 
@@ -18,6 +19,9 @@ class MetricsCollector:
         self.monotasks: List[MonotaskRecord] = []
         self.resource_usage: List[ResourceUsageRecord] = []
         self.tasks: List[TaskRecord] = []
+        self.attempts: List[TaskAttemptRecord] = []
+        self.faults: List[FaultEventRecord] = []
+        self.speculations: List[SpeculationRecord] = []
         self.stages: Dict[Tuple[int, int], StageRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
 
@@ -26,6 +30,18 @@ class MetricsCollector:
     def record_monotask(self, record: MonotaskRecord) -> None:
         """Append a monotask self-report."""
         self.monotasks.append(record)
+
+    def record_task_attempt(self, record: TaskAttemptRecord) -> None:
+        """Append one task attempt's outcome."""
+        self.attempts.append(record)
+
+    def record_fault(self, record: FaultEventRecord) -> None:
+        """Append one injected-fault event."""
+        self.faults.append(record)
+
+    def record_speculation(self, record: SpeculationRecord) -> None:
+        """Append one speculative-launch event."""
+        self.speculations.append(record)
 
     def record_resource_usage(self, record: ResourceUsageRecord) -> None:
         """Append a Spark-engine per-task ground-truth record."""
@@ -113,3 +129,24 @@ class MetricsCollector:
         """Spark ground-truth usage records of one stage."""
         return [u for u in self.resource_usage
                 if u.job_id == job_id and u.stage_id == stage_id]
+
+    def attempts_for_job(self, job_id: int) -> List[TaskAttemptRecord]:
+        """All task attempts of one job."""
+        return [a for a in self.attempts if a.job_id == job_id]
+
+    def attempt_outcome_counts(self,
+                               job_id: Optional[int] = None
+                               ) -> Dict[str, int]:
+        """Attempts grouped by outcome (``success``/``failed``/...)."""
+        counts: Dict[str, int] = {}
+        for attempt in self.attempts:
+            if job_id is not None and attempt.job_id != job_id:
+                continue
+            counts[attempt.outcome] = counts.get(attempt.outcome, 0) + 1
+        return counts
+
+    def retry_count(self, job_id: Optional[int] = None) -> int:
+        """Non-speculative attempts beyond each task's first."""
+        return sum(1 for a in self.attempts
+                   if a.attempt > 1 and not a.speculative
+                   and (job_id is None or a.job_id == job_id))

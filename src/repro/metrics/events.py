@@ -21,6 +21,9 @@ __all__ = [
     "TaskRecord",
     "StageRecord",
     "JobRecord",
+    "TaskAttemptRecord",
+    "FaultEventRecord",
+    "SpeculationRecord",
     "CPU",
     "DISK",
     "NETWORK",
@@ -116,6 +119,55 @@ class TaskRecord:
     def duration(self) -> float:
         """Task wall-clock seconds."""
         return self.end - self.start
+
+
+@dataclass
+class TaskAttemptRecord:
+    """One attempt at running a task: the unit of retry and speculation.
+
+    ``outcome`` is ``"success"``, ``"failed"`` (the attempt raised),
+    ``"fetch-failed"`` (map output was missing; lineage recovery runs
+    before the retry), or ``"killed"`` (interrupted by a machine crash
+    or by losing a speculation race).
+    """
+
+    job_id: int
+    stage_id: int
+    task_index: int
+    attempt: int
+    machine_id: int
+    start: float
+    end: float
+    outcome: str
+    speculative: bool = False
+    #: Deterministic short cause (exception type or interrupt cause).
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Attempt wall-clock seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class FaultEventRecord:
+    """One injected fault (or recovery milestone like a restart)."""
+
+    kind: str  # machine-crash | machine-restart | disk-failure | slowdown...
+    machine_id: int
+    at: float
+    detail: str = ""
+
+
+@dataclass
+class SpeculationRecord:
+    """A speculative duplicate attempt was launched for a straggler."""
+
+    job_id: int
+    stage_id: int
+    task_index: int
+    at: float
+    original_machine_id: int
 
 
 @dataclass

@@ -6,9 +6,13 @@ module keeps the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "print_table", "format_seconds", "ratio"]
+if TYPE_CHECKING:
+    from repro.metrics.collector import MetricsCollector
+
+__all__ = ["format_table", "print_table", "format_seconds", "ratio",
+           "format_fault_report"]
 
 
 def format_seconds(seconds: float) -> str:
@@ -59,6 +63,31 @@ def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     print()
     print(format_table(headers, rows, title=title))
     print()
+
+
+def format_fault_report(metrics: "MetricsCollector",
+                        job_id: Optional[int] = None) -> str:
+    """Render the faults-and-recovery summary for a run.
+
+    Counts injected faults by kind, task attempts by outcome, retries,
+    and speculative launches, so a report shows at a glance how much
+    work a job lost and re-executed.
+    """
+    rows: List[List[object]] = []
+    fault_kinds: dict = {}
+    for fault in metrics.faults:
+        fault_kinds[fault.kind] = fault_kinds.get(fault.kind, 0) + 1
+    for kind in sorted(fault_kinds):
+        rows.append([f"fault: {kind}", fault_kinds[kind]])
+    outcomes = metrics.attempt_outcome_counts(job_id)
+    for outcome in sorted(outcomes):
+        rows.append([f"attempts: {outcome}", outcomes[outcome]])
+    rows.append(["retries", metrics.retry_count(job_id)])
+    speculations = [s for s in metrics.speculations
+                    if job_id is None or s.job_id == job_id]
+    rows.append(["speculative launches", len(speculations)])
+    return format_table(["event", "count"], rows,
+                        title="Faults and recovery")
 
 
 def _render(cell: object) -> str:

@@ -60,7 +60,8 @@ class MonoSparkEngine(BaseEngine):
                  write_disk_policy: str = "round_robin",
                  prioritize_writes_under_memory_pressure: bool = False,
                  memory_pressure_fraction: float = 0.8,
-                 scheduling_policy: str = "fifo") -> None:
+                 scheduling_policy: str = "fifo",
+                 recovery=None) -> None:
         if ssd_outstanding < 1 or hdd_outstanding < 1:
             raise ConfigError("disk scheduler concurrency must be >= 1")
         if network_limit < 1:
@@ -84,7 +85,8 @@ class MonoSparkEngine(BaseEngine):
         self.memory_pressure_fraction = memory_pressure_fraction
         self.workers: Dict[int, MonoWorker] = {}
         super().__init__(cluster, cost_model=cost_model, metrics=metrics,
-                         scheduling_policy=scheduling_policy)
+                         scheduling_policy=scheduling_policy,
+                         recovery=recovery)
         for machine in cluster.machines:
             self.workers[machine.machine_id] = MonoWorker(self, machine)
 
@@ -118,20 +120,14 @@ class MonoSparkEngine(BaseEngine):
             yield worker.submit_multitask(decomposition.monotasks)
         finally:
             machine.memory.release(footprint)
-        self._register(work, machine, decomposition.output_disk)
+        # The engine commits (registers) outputs only if this attempt
+        # wins the task -- see BaseEngine._execute_task.
+        return decomposition.output_disk
 
-    def _register(self, work: TaskWork, machine: Machine,
-                  output_disk: Optional[int]) -> None:
-        from repro.api.plan import DfsOutput, ShuffleOutput
-        output = work.descriptor.output
-        if isinstance(output, ShuffleOutput):
-            if output.in_memory:
-                # Shuffle data stays resident until the job ends.
-                self.note_in_memory_shuffle(work.descriptor.job_id,
-                                            machine,
-                                            work.output_stored_bytes)
-                self.register_shuffle_output(work, machine, None)
-            else:
-                self.register_shuffle_output(work, machine, output_disk)
-        elif isinstance(output, DfsOutput):
-            self.register_dfs_output(work, machine, output_disk or 0)
+    # -- fault hooks --------------------------------------------------------------
+
+    def _fail_worker(self, machine_id: int) -> None:
+        self.workers[machine_id].fail_all()
+
+    def _revive_worker(self, machine_id: int) -> None:
+        self.workers[machine_id].revive()

@@ -45,11 +45,16 @@ class LocalDagScheduler:
         if remaining == 0:
             self._route(monotask)
             return
-        state = {"remaining": remaining}
+        state = {"remaining": remaining, "failed": False}
 
-        def on_dep_done(_event: Event) -> None:
+        def on_dep_done(event: Event) -> None:
+            if not event._ok:
+                # A dependency died (machine crash/disk fault): never
+                # route the dependent.  The multitask's AllOf barrier
+                # already fails fast on the dependency itself.
+                state["failed"] = True
             state["remaining"] -= 1
-            if state["remaining"] == 0:
+            if state["remaining"] == 0 and not state["failed"]:
                 self._route(monotask)
 
         for dep in monotask.deps:

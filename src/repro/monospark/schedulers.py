@@ -17,9 +17,10 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Deque, Dict, Generator, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import (FaultError, Interrupted, MachineFailure,
+                          SimulationError)
 from repro.monospark.monotask import Monotask
-from repro.simulator import Environment
+from repro.simulator import Environment, Process
 
 __all__ = ["ResourceScheduler"]
 
@@ -47,6 +48,10 @@ class ResourceScheduler:
         #: Longest queue length seen (for contention reporting/tests).
         self.max_queue_length = 0
         self.completed = 0
+        #: True after fail_all(): the machine is down and new monotasks
+        #: are rejected immediately.
+        self.dead = False
+        self._executing: Dict[Monotask, Process] = {}
 
     @property
     def queue_length(self) -> int:
@@ -55,6 +60,9 @@ class ResourceScheduler:
 
     def submit(self, monotask: Monotask) -> None:
         """Enqueue a ready monotask; runs when the resource frees."""
+        if self.dead:
+            monotask.done.fail(MachineFailure(f"{self.name} is down"))
+            return
         monotask.submitted_at = self.env.now
         phase = monotask.phase if self.round_robin_phases else "all"
         queue = self._queues.get(phase)
@@ -94,10 +102,41 @@ class ResourceScheduler:
 
     def _run(self, monotask: Monotask) -> Generator:
         monotask.started_at = self.env.now
+        error: Optional[BaseException] = None
+        process = self.env.process(monotask.execute())
+        self._executing[monotask] = process
         try:
-            yield self.env.process(monotask.execute())
+            yield process
+        except (Interrupted, FaultError) as exc:
+            # The monotask was killed by a crash, or its I/O failed on
+            # dead hardware; its multitask fails, not the simulation.
+            error = exc
         finally:
+            self._executing.pop(monotask, None)
             self.running -= 1
-        monotask.record()
-        monotask.done.succeed()
+        if error is None:
+            monotask.record()
+            monotask.done.succeed()
+        elif not monotask.done.triggered:
+            monotask.done.fail(error)
         self._dispatch()
+
+    # -- fault handling -----------------------------------------------------------
+
+    def fail_all(self) -> None:
+        """Machine crash: reject the queue, kill executing monotasks."""
+        self.dead = True
+        victims: List[Monotask] = []
+        for queue in self._queues.values():
+            victims.extend(queue)
+            queue.clear()
+        for monotask in victims:
+            if not monotask.done.triggered:
+                monotask.done.fail(MachineFailure(f"{self.name} is down"))
+        for process in list(self._executing.values()):
+            if process.is_alive and process.target is not None:
+                process.interrupt(cause="machine-crash")
+
+    def revive(self) -> None:
+        """The machine restarted: accept monotasks again."""
+        self.dead = False

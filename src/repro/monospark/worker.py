@@ -90,6 +90,20 @@ class MonoWorker:
                 return loads.index(min(loads))
         return self.machine.pick_write_disk()
 
+    def fail_all(self) -> None:
+        """Machine crash: every scheduler rejects and kills its work."""
+        for scheduler in self._all_schedulers():
+            scheduler.fail_all()
+
+    def revive(self) -> None:
+        """The machine restarted: schedulers accept monotasks again."""
+        for scheduler in self._all_schedulers():
+            scheduler.revive()
+
+    def _all_schedulers(self) -> List[ResourceScheduler]:
+        return ([self.compute_scheduler] + self.disk_schedulers +
+                [self.network_scheduler])
+
     def memory_pressure(self) -> bool:
         """True when task data exceeds the §3.5 pressure threshold."""
         memory = self.machine.memory

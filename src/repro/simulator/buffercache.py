@@ -27,7 +27,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, Generator, Optional, Tuple
 
 from repro.config import MachineSpec
-from repro.errors import SimulationError
+from repro.errors import FaultError, MachineFailure, SimulationError
 from repro.simulator.core import Environment, Event
 from repro.simulator.disk import Disk
 
@@ -230,7 +230,13 @@ class BufferCache:
                 remaining = nbytes
                 while remaining > 0:
                     chunk = min(FLUSH_CHUNK_BYTES, remaining)
-                    yield self.disks[disk_index].write(chunk, label=block_id)
+                    try:
+                        yield self.disks[disk_index].write(chunk,
+                                                           label=block_id)
+                    except FaultError:
+                        # The disk died under us: this machine's dirty data
+                        # is gone with it; crash() settles the accounting.
+                        return
                     remaining -= chunk
                     self.dirty_bytes -= chunk
                     self._wake_space_waiters()
@@ -243,6 +249,23 @@ class BufferCache:
         finally:
             self._flusher_running = False
             self._wake_space_waiters()
+
+    def crash(self) -> int:
+        """Drop all cached state (machine crash); fail blocked writers.
+
+        Returns the number of space waiters failed.  The flusher, if one
+        is mid-write, bails out on the failed disk request.
+        """
+        self._clean.clear()
+        self._dirty.clear()
+        self.clean_bytes = 0.0
+        self.dirty_bytes = 0.0
+        waiters = list(self._space_waiters)
+        self._space_waiters.clear()
+        for waiter, _ in waiters:
+            if not waiter.triggered:
+                waiter.fail(MachineFailure(f"{self.name}: machine crashed"))
+        return len(waiters)
 
     def _wake_space_waiters(self) -> None:
         still_waiting: Deque[Tuple[Event, float]] = deque()

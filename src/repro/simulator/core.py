@@ -40,6 +40,12 @@ __all__ = [
 _PENDING = object()
 
 
+def _defuse_if_failed(event: "Event") -> None:
+    """Callback that absorbs a failure nobody is waiting for anymore."""
+    if not event._ok:
+        event.defused = True
+
+
 class Event:
     """A one-shot occurrence on an :class:`Environment`.
 
@@ -125,8 +131,11 @@ class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
+        # `not (delay >= 0)` also catches NaN, whose comparisons are all
+        # False; inf would enqueue an event that can never fire and hang
+        # run() forever, so both are structural errors.
+        if not (delay >= 0) or delay == float("inf"):
+            raise SimulationError(f"invalid timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
@@ -203,6 +212,12 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                # If the abandoned target later *fails*, nobody is left to
+                # handle it; defuse so the stale failure cannot crash the
+                # run (this is what makes killing speculative attempts and
+                # crashed-machine work safe).
+                self._target.add_callback(_defuse_if_failed)
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
@@ -284,6 +299,10 @@ class AllOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # Already failed fast (or a waiter was interrupted away): a
+            # late failure among the remaining events has no handler left.
+            if not event._ok:
+                event.defused = True
             return
         if not event._ok:
             event.defused = True
@@ -299,6 +318,9 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The race is settled; losers that fail late have no handler.
+            if not event._ok:
+                event.defused = True
             return
         if event._ok:
             self.succeed(event._value)
@@ -315,11 +337,19 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        #: Total events ever enqueued -- regression guard for code that
+        #: used to leak superseded waiter processes into the heap.
+        self.events_scheduled = 0
 
     @property
     def now(self) -> float:
         """The current virtual time."""
         return self._now
+
+    @property
+    def queue_size(self) -> int:
+        """Events currently scheduled (triggered but not yet processed)."""
+        return len(self._queue)
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -351,6 +381,7 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        self.events_scheduled += 1
         heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
 
     def peek(self) -> float:

@@ -23,8 +23,8 @@ from collections import deque
 from typing import Deque, Generator, List, Optional
 
 from repro.config import DiskSpec
-from repro.errors import SimulationError
-from repro.simulator.core import Environment, Event
+from repro.errors import DiskFailure, Interrupted, SimulationError
+from repro.simulator.core import Environment, Event, Process
 from repro.simulator.resources import BusyTracker
 
 __all__ = ["Disk", "DiskRequest"]
@@ -62,7 +62,11 @@ class Disk:
     def __init__(self, env: Environment, spec: DiskSpec, name: str = "disk") -> None:
         self.env = env
         self.spec = spec
+        #: Pristine spec kept so injected degradation can be undone.
+        self.base_spec = spec
         self.name = name
+        #: True after a fault; submissions fail until the disk is revived.
+        self.dead = False
         self.tracker = BusyTracker(env, spec.max_concurrency, name)
         self.bytes_read = 0.0
         self.bytes_written = 0.0
@@ -73,9 +77,12 @@ class Disk:
         if spec.max_concurrency == 1:
             self._queue: Deque[DiskRequest] = deque()
             self._server_active = False
+            self._server: Optional[Process] = None
+            self._current: Optional[DiskRequest] = None
         else:
             self._active: List[DiskRequest] = []
-            self._recompute_seq = 0
+            self._waiter: Optional[Process] = None
+            self._wake_at = float("inf")
 
     # -- public API ----------------------------------------------------------
 
@@ -87,6 +94,9 @@ class Disk:
     def submit(self, nbytes: float, kind: str, label: str = "") -> Event:
         """Start a request; the returned event fires when it completes."""
         request = DiskRequest(self.env, nbytes, kind, label)
+        if self.dead:
+            request.done.fail(DiskFailure(f"{self.name} is dead"))
+            return request.done
         if kind == "read":
             self.bytes_read += request.nbytes
         else:
@@ -98,10 +108,40 @@ class Disk:
             self._queue.append(request)
             if not self._server_active:
                 self._server_active = True
-                self.env.process(self._serve_hdd())
+                self._server = self.env.process(self._serve_hdd())
         else:
             self._admit_ssd(request)
         return request.done
+
+    def fail_all(self) -> int:
+        """Fail every outstanding request (fault injection).
+
+        Marks the disk dead; call :meth:`revive` to accept new requests
+        again.  Returns the number of requests killed.
+        """
+        self.dead = True
+        if self.is_hdd:
+            victims = list(self._queue)
+            self._queue.clear()
+            if self._current is not None:
+                victims.append(self._current)
+                self._current = None
+            if self._server is not None and self._server.is_alive:
+                self._server.interrupt(cause="disk-failed")
+        else:
+            victims = list(self._active)
+            self._active.clear()
+            self.tracker.set_busy(0)
+            # The SSD waiter exits on its own when it wakes to no work.
+        for request in victims:
+            request.done.fail(DiskFailure(
+                f"{self.name} failed with {request.kind} outstanding"))
+        return len(victims)
+
+    def revive(self) -> None:
+        """Bring a failed disk back (empty, at its original speed)."""
+        self.dead = False
+        self.spec = self.base_spec
 
     def read(self, nbytes: float, label: str = "") -> Event:
         """Submit a read request."""
@@ -131,6 +171,7 @@ class Disk:
         try:
             while self._queue:
                 request = self._queue.popleft()
+                self._current = request
                 if request.started_at is None:
                     request.started_at = self.env.now
                 chunk = min(spec.interleave_bytes, request.remaining)
@@ -148,6 +189,7 @@ class Disk:
                     self.seeks += 1
                 yield self.env.timeout(service)
                 request.remaining -= chunk
+                self._current = None
                 if request.remaining > 1e-9:
                     self._queue.append(request)
                     last = request
@@ -157,7 +199,10 @@ class Disk:
                     self.transfer_log.append(
                         (self.env.now, request.nbytes, request.kind))
                     request.done.succeed(request)
+        except Interrupted:
+            pass  # Disk failed mid-service; fail_all() settles the queue.
         finally:
+            self._current = None
             self._server_active = False
             self.tracker.set_busy(0)
 
@@ -182,7 +227,7 @@ class Disk:
         return min(per_stream_cap, spec.throughput_bps / n)
 
     def _recompute_ssd(self) -> None:
-        """Re-shard device bandwidth and reschedule the next completion."""
+        """Re-shard device bandwidth and re-aim the completion waiter."""
         now = self.env.now
         for request in self._active:
             # Progress accrued since the last recompute at the old rate.
@@ -196,29 +241,62 @@ class Disk:
         for request in self._active:
             request.rate = rate
         self.tracker.set_busy(min(n, self.spec.max_concurrency))
-        self._recompute_seq += 1
-        if not self._active:
-            return
-        seq = self._recompute_seq
-        soonest = min(self._active, key=lambda r: r.remaining)
-        delay = self.spec.seek_time_s + soonest.remaining / rate
-        self.env.process(self._ssd_completion(seq, delay))
+        self._arm_ssd()
 
-    def _ssd_completion(self, seq: int, delay: float) -> Generator:
-        yield self.env.timeout(delay)
-        if seq != self._recompute_seq:
-            return  # A newer recompute superseded this completion.
-        now = self.env.now
-        finished = []
-        for request in self._active:
-            progressed = request.rate * (now - request.started_at)
-            if request.remaining - progressed <= 1e-9:
-                request.remaining = 0.0
-                finished.append(request)
-        for request in finished:
-            self._active.remove(request)
-        self._recompute_ssd()
-        for request in finished:
-            self.transfer_log.append(
-                (self.env.now, request.nbytes, request.kind))
-            request.done.succeed(request)
+    def _ssd_next_deadline(self) -> float:
+        soonest = min(self._active, key=lambda r: r.remaining)
+        rate = max(soonest.rate, 1e-12)
+        return (self.env.now + self.spec.seek_time_s
+                + soonest.remaining / rate)
+
+    def _arm_ssd(self) -> None:
+        """One persistent waiter, re-aimed like the network's: interrupt
+        only when the deadline moved earlier, discover later deadlines on
+        wakeup.  Request churn leaves no superseded events in the heap."""
+        if not self._active:
+            self._wake_at = float("inf")
+            return
+        wake_at = self._ssd_next_deadline()
+        if self._waiter is None or not self._waiter.is_alive:
+            self._wake_at = wake_at
+            self._waiter = self.env.process(self._ssd_completion_loop())
+        elif wake_at < self._wake_at:
+            self._wake_at = wake_at
+            self._waiter.interrupt(cause="rearm")
+
+    def _ssd_completion_loop(self) -> Generator:
+        while self._active:
+            delay = self._wake_at - self.env.now
+            if delay > 0:
+                try:
+                    yield self.env.timeout(delay)
+                except Interrupted:
+                    continue  # Re-armed at an earlier deadline.
+                if not self._active:
+                    break  # All requests failed while we slept.
+            now = self.env.now
+            finished = []
+            for request in self._active:
+                progressed = request.rate * (now - request.started_at)
+                if request.remaining - progressed <= 1e-9:
+                    request.remaining = 0.0
+                    finished.append(request)
+            if not finished:
+                # Rates dropped since arming (new requests admitted):
+                # this wakeup is early.  Bank progress and sleep again.
+                for request in self._active:
+                    if request.rate > 0:
+                        request.remaining = max(
+                            0.0,
+                            request.remaining
+                            - request.rate * (now - request.started_at))
+                    request.started_at = now
+                self._wake_at = self._ssd_next_deadline()
+                continue
+            for request in finished:
+                self._active.remove(request)
+            self._recompute_ssd()
+            for request in finished:
+                self.transfer_log.append(
+                    (self.env.now, request.nbytes, request.kind))
+                request.done.succeed(request)

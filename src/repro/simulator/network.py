@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.errors import SimulationError
-from repro.simulator.core import Environment, Event
+from repro.errors import Interrupted, MachineFailure, SimulationError
+from repro.simulator.core import Environment, Event, Process
 from repro.simulator.resources import BusyTracker
 
 __all__ = ["Network", "Flow"]
@@ -53,7 +53,11 @@ class Network:
         self._up_bps: Dict[int, float] = {}
         self._down_bps: Dict[int, float] = {}
         self._flows: List[Flow] = []
-        self._seq = 0
+        #: One persistent waiter process re-armed on every rebalance, so
+        #: flow churn does not leave superseded waiters in the event heap.
+        self._waiter: Optional[Process] = None
+        self._wake_at: float = float("inf")
+        self._machine_up: Dict[int, bool] = {}
         self.bytes_transferred = 0.0
         #: (completion time, bytes, dst, src) per flow -- machine-level
         #: observation used by the Spark-based models (§6.6).
@@ -72,6 +76,7 @@ class Network:
             raise SimulationError(f"machine {machine_id} already registered")
         self._up_bps[machine_id] = up_bps
         self._down_bps[machine_id] = down_bps
+        self._machine_up[machine_id] = True
         self.rx_trackers[machine_id] = BusyTracker(
             self.env, 1, f"net-rx-{machine_id}")
         self.tx_trackers[machine_id] = BusyTracker(
@@ -96,20 +101,33 @@ class Network:
         if src not in self._up_bps or dst not in self._down_bps:
             raise SimulationError(f"unregistered machine in flow {src}->{dst}")
         flow = Flow(self.env, src, dst, nbytes, label)
+        if not (self._machine_up[src] and self._machine_up[dst]):
+            flow.done.fail(MachineFailure(
+                f"flow {src}->{dst}: endpoint is down"))
+            return flow.done
         self.bytes_transferred += flow.nbytes
         if nbytes <= 0 or src == dst:
             # Local or empty: completes after the fixed latency only.
-            self.env.process(self._complete_local(flow))
+            self.env.process(self._deliver([flow]))
             return flow.done
         self._flows.append(flow)
         self._rebalance()
         return flow.done
 
-    def _complete_local(self, flow: Flow) -> Generator:
+    def _deliver(self, finished: List[Flow]) -> Generator:
+        """Charge the one-way latency, then complete the flows.
+
+        Remote flows pay it on top of their bandwidth time (connection
+        setup plus propagation of the last byte); local/empty transfers
+        pay only the latency.
+        """
         yield self.env.timeout(FLOW_LATENCY_S)
-        self.completion_log.append(
-            (self.env.now, flow.nbytes, flow.dst, flow.src))
-        flow.done.succeed(flow)
+        for flow in finished:
+            if flow.done.triggered:
+                continue  # Failed by a machine crash while in delivery.
+            self.completion_log.append(
+                (self.env.now, flow.nbytes, flow.dst, flow.src))
+            flow.done.succeed(flow)
 
     # -- max-min fair rate allocation -----------------------------------------
 
@@ -198,39 +216,90 @@ class Network:
         self._bank_progress()
         self._compute_rates()
         self._update_trackers()
-        self._seq += 1
-        if not self._flows:
-            return
-        seq = self._seq
-        soonest = min(f.remaining / f.rate for f in self._flows)
-        # The first flow to start also pays the connection latency.
-        self.env.process(self._completion(seq, soonest))
+        self._arm()
 
-    def _completion(self, seq: int, delay: float) -> Generator:
-        yield self.env.timeout(delay)
-        if seq != self._seq:
-            return  # A newer rebalance superseded this completion.
+    def _next_deadline(self) -> float:
+        return self.env.now + min(
+            f.remaining / max(f.rate, 1e-12) for f in self._flows)
+
+    def _arm(self) -> None:
+        """(Re)aim the single waiter at the soonest-finishing flow.
+
+        The waiter is only interrupted when the deadline moved *earlier*;
+        a later deadline is discovered by the waiter itself when it wakes
+        and finds nothing finished.  Either way there is exactly one
+        waiter and at most one pending wakeup -- flow churn cannot pile
+        superseded events into the heap.
+        """
+        if not self._flows:
+            self._wake_at = float("inf")
+            return
+        wake_at = self._next_deadline()
+        if self._waiter is None or not self._waiter.is_alive:
+            self._wake_at = wake_at
+            self._waiter = self.env.process(self._completion_loop())
+        elif wake_at < self._wake_at:
+            self._wake_at = wake_at
+            self._waiter.interrupt(cause="rearm")
+
+    def _completion_loop(self) -> Generator:
+        while self._flows:
+            delay = self._wake_at - self.env.now
+            if delay > 0:
+                try:
+                    yield self.env.timeout(delay)
+                except Interrupted:
+                    continue  # Re-armed at an earlier deadline.
+                if not self._flows:
+                    break  # All in-flight flows failed while we slept.
+            self._bank_progress()
+            finished = [f for f in self._flows if f.remaining <= 1e-6]
+            if not finished:
+                soonest = self._next_deadline() - self.env.now
+                if soonest >= 1e-9:
+                    # Rates dropped since we armed (new flows joined):
+                    # this wakeup is early, not late.  Sleep again.
+                    self._wake_at = self.env.now + soonest
+                    continue
+                # Float slack: force the closest flow to completion.
+                closest = min(self._flows, key=lambda f: f.remaining)
+                closest.remaining = 0.0
+                finished = [closest]
+            for flow in finished:
+                self._flows.remove(flow)
+            self._compute_rates()
+            self._update_trackers()
+            if self._flows:
+                self._wake_at = self._next_deadline()
+            self.env.process(self._deliver(finished))
+
+    # -- fault injection --------------------------------------------------------
+
+    def set_machine_up(self, machine_id: int, up: bool) -> None:
+        """Mark a machine up or down; transfers touching a down machine
+        fail immediately."""
+        if machine_id not in self._machine_up:
+            raise SimulationError(f"unregistered machine {machine_id}")
+        self._machine_up[machine_id] = up
+
+    def fail_machine(self, machine_id: int) -> int:
+        """Fail every in-flight flow from or to ``machine_id``.
+
+        Returns the number of flows killed.  Survivors are re-balanced
+        over the freed bandwidth.
+        """
         self._bank_progress()
-        finished = [f for f in self._flows if f.remaining <= 1e-6]
-        if not finished:
-            # Float slack: force the closest flow to completion.
-            closest = min(self._flows, key=lambda f: f.remaining)
-            closest.remaining = 0.0
-            finished = [closest]
-        for flow in finished:
+        dead = [f for f in self._flows
+                if f.src == machine_id or f.dst == machine_id]
+        for flow in dead:
             self._flows.remove(flow)
-        self._bank_progress()
         self._compute_rates()
         self._update_trackers()
-        self._seq += 1
-        if self._flows:
-            seq2 = self._seq
-            soonest = min(f.remaining / f.rate for f in self._flows)
-            self.env.process(self._completion(seq2, soonest))
-        for flow in finished:
-            self.completion_log.append(
-                (self.env.now, flow.nbytes, flow.dst, flow.src))
-            flow.done.succeed(flow)
+        self._arm()
+        for flow in dead:
+            flow.done.fail(MachineFailure(
+                f"flow {flow.src}->{flow.dst}: machine {machine_id} failed"))
+        return len(dead)
 
     # -- introspection for the performance model -------------------------------
 

@@ -40,7 +40,8 @@ class SparkEngine(BaseEngine):
                  chunk_bytes: float = 8 * MB,
                  readahead_depth: int = 2,
                  fetch_inflight: int = 5,
-                 scheduling_policy: str = "fifo") -> None:
+                 scheduling_policy: str = "fifo",
+                 recovery=None) -> None:
         if slots_per_machine is not None and slots_per_machine < 1:
             raise ConfigError(f"slots must be >= 1: {slots_per_machine}")
         if chunk_bytes <= 0:
@@ -53,7 +54,8 @@ class SparkEngine(BaseEngine):
         self.readahead_depth = readahead_depth
         self.fetch_inflight = fetch_inflight
         super().__init__(cluster, cost_model=cost_model, metrics=metrics,
-                         scheduling_policy=scheduling_policy)
+                         scheduling_policy=scheduling_policy,
+                         recovery=recovery)
 
     def concurrency_for(self, machine: Machine) -> int:
         if self.slots_per_machine is not None:
@@ -62,4 +64,4 @@ class SparkEngine(BaseEngine):
 
     def run_task_on_machine(self, work: TaskWork,
                             machine: Machine) -> Generator:
-        yield from SparkTaskRun(self, work, machine).run()
+        return (yield from SparkTaskRun(self, work, machine).run())

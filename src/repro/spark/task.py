@@ -21,7 +21,7 @@ from repro.api.plan import (CachedInput, DfsInput, DfsOutput, LocalInput,
                             ShuffleInput, ShuffleOutput)
 from repro.cluster.machine import Machine
 from repro.engine.semantics import ResolvedInput, TaskWork
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ReproError
 from repro.metrics.events import ResourceUsageRecord
 from repro.simulator import Environment, Store
 from repro.simulator.network import FLOW_LATENCY_S
@@ -49,6 +49,17 @@ class _Unit:
         self.blocks = blocks
 
 
+class _FetchFailure:
+    """Sentinel a feeder pushes through the pipeline when a fetch fails
+    (disk/machine fault), so the error surfaces in the task's own frame
+    instead of crashing the feeder process."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
 class SparkTaskRun:
     """Drives one multitask's resource use on its assigned machine."""
 
@@ -67,7 +78,10 @@ class SparkTaskRun:
     # -- top level ------------------------------------------------------------------
 
     def run(self) -> Generator:
-        """Drive the whole multitask: fetch, compute, write, register."""
+        """Drive the whole multitask: fetch, compute, write.
+
+        Returns the disk index output was written to; the engine
+        registers outputs once the attempt wins its task."""
         engine = self.engine
         work = self.work
         cost = engine.cost
@@ -83,6 +97,8 @@ class SparkTaskRun:
         write_per_unit = self._writes_per_unit()
         for _ in range(len(units)):
             unit = yield ready.get()
+            if isinstance(unit, _FetchFailure):
+                raise unit.error
             fraction = (unit.stored_bytes / total_stored if total_stored
                         else 1.0 / len(units))
             yield from self._compute(work.total_cpu_s * fraction)
@@ -93,8 +109,10 @@ class SparkTaskRun:
 
         yield from self._write_shuffle_buckets(out_disk)
         yield from self._compute(cost.task_cleanup_s)
-        self._register_outputs(out_disk)
         engine.metrics.record_resource_usage(self.usage)
+        # The engine commits (registers) outputs only if this attempt
+        # wins the task -- see BaseEngine._execute_task.
+        return out_disk
 
     # -- input units -------------------------------------------------------------------
 
@@ -160,7 +178,11 @@ class SparkTaskRun:
             yield from self._feed_shuffle(units, ready)
             return
         for unit in units:
-            yield self.env.process(self._fetch_unit(unit))
+            try:
+                yield self.env.process(self._fetch_unit(unit))
+            except ReproError as exc:
+                yield ready.put(_FetchFailure(exc))
+                return
             yield ready.put(unit)
 
     def _feed_shuffle(self, units: List[_Unit], ready: Store) -> Generator:
@@ -169,7 +191,11 @@ class SparkTaskRun:
         for unit in units:
 
             def fetch(u: _Unit) -> Generator:
-                yield self.env.process(self._fetch_unit(u))
+                try:
+                    yield self.env.process(self._fetch_unit(u))
+                except ReproError as exc:
+                    yield ready.put(_FetchFailure(exc))
+                    return
                 yield ready.put(u)
 
             active.append(self.env.process(fetch(unit)))
@@ -248,9 +274,8 @@ class SparkTaskRun:
         if not isinstance(output, ShuffleOutput):
             return
         if output.in_memory:
-            self.engine.note_in_memory_shuffle(
-                self.work.descriptor.job_id, self.machine,
-                self.work.output_stored_bytes)
+            # No disk I/O; the engine accounts the resident bytes when
+            # the winning attempt commits.
             return
         if self.engine.flush_writes and self.work.output_stored_bytes > 0:
             # The forced-flush configuration syncs whole shuffle files,
@@ -274,13 +299,3 @@ class SparkTaskRun:
                 disk_index, nbytes, block_id,
                 write_through=self.engine.flush_writes)
             self.usage.disk_bytes_written += nbytes
-
-    def _register_outputs(self, disk_index: int) -> None:
-        output = self.work.descriptor.output
-        if isinstance(output, ShuffleOutput):
-            self.engine.register_shuffle_output(
-                self.work, self.machine,
-                None if output.in_memory else disk_index)
-        elif isinstance(output, DfsOutput):
-            self.engine.register_dfs_output(self.work, self.machine,
-                                            disk_index)

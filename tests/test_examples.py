@@ -35,3 +35,9 @@ class TestExamples:
         out = run_example("bottleneck_debugging", capsys)
         assert "bottleneck = cpu" in out
         assert "execution timeline" in out
+
+    def test_fault_recovery(self, capsys):
+        out = run_example("fault_recovery", capsys)
+        assert "fault-free run" in out
+        assert "machine-crash" in out
+        assert "lineage" in out

@@ -1,0 +1,255 @@
+"""Kernel-level fault semantics.
+
+Covers the simulator pieces fault injection leans on: ``Timeout``
+validation, interrupt delivery in every race it can lose, failure
+propagation through ``AllOf``/``AnyOf``, and the event-accounting
+regressions (superseded completion waiters used to pile O(n^2) dead
+events into the heap; remote flows used to skip their latency charge).
+"""
+
+import pytest
+
+from repro.config import MB, SSD
+from repro.errors import Interrupted, SimulationError
+from repro.simulator import Disk, Environment, Network
+from repro.simulator.network import FLOW_LATENCY_S
+
+BW = 100 * MB
+
+
+def make_network(env, machines=4, bw=BW):
+    net = Network(env)
+    for machine in range(machines):
+        net.register_machine(machine, up_bps=bw, down_bps=bw)
+    return net
+
+
+class TestTimeoutValidation:
+    @pytest.mark.parametrize("delay", [float("inf"), float("-inf"),
+                                       float("nan"), -1.0])
+    def test_rejects_invalid_delay(self, delay):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(delay)
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+        env.run(until=env.timeout(0.0))
+        assert env.now == 0.0
+
+
+class TestInterruptSemantics:
+    def test_interrupt_after_target_fired_but_unprocessed(self):
+        # The target fires and the interrupt arrives in the same instant,
+        # before the scheduler delivers either: the resume wins (it was
+        # enqueued first) and the late interrupt must not corrupt the
+        # already-completed process.
+        env = Environment()
+        trigger = env.event()
+        log = []
+
+        def body():
+            yield trigger
+            log.append("done")
+
+        proc = env.process(body())
+        env.run(until=env.timeout(1.0))  # park the process on `trigger`
+        trigger.succeed()
+        proc.interrupt(cause="late")
+        env.run()
+        assert log == ["done"]
+        assert proc.triggered
+
+    def test_interrupt_supersedes_pending_target(self):
+        env = Environment()
+        trigger = env.event()
+        log = []
+
+        def body():
+            try:
+                yield trigger
+                log.append("resumed")
+                yield env.timeout(10.0)
+                log.append("slept")
+            except Interrupted as exc:
+                log.append(f"interrupted:{exc.cause}")
+
+        proc = env.process(body())
+        env.run(until=env.timeout(1.0))
+        trigger.succeed()
+        proc.interrupt(cause="race")
+        env.run()
+        # The fired trigger resumed the process first; the interrupt then
+        # landed in the next wait (the 10s sleep), which never finished.
+        assert log == ["resumed", "interrupted:race"]
+
+    def test_interrupt_inside_all_of(self):
+        env = Environment()
+        e1, e2 = env.event(), env.event()
+        caught = []
+
+        def body():
+            try:
+                yield env.all_of([e1, e2])
+            except Interrupted as exc:
+                caught.append(exc.cause)
+
+        proc = env.process(body())
+
+        def driver():
+            yield env.timeout(1.0)
+            proc.interrupt(cause="crash")
+            yield env.timeout(1.0)
+            e1.succeed()
+            e2.fail(SimulationError("late failure"))  # abandoned barrier
+
+        env.process(driver())
+        env.run()  # raises if the late failure were not defused
+        assert caught == ["crash"]
+        assert env.queue_size == 0
+
+    def test_interrupt_inside_any_of(self):
+        env = Environment()
+        e1, e2 = env.event(), env.event()
+        caught = []
+
+        def body():
+            try:
+                yield env.any_of([e1, e2])
+            except Interrupted as exc:
+                caught.append(exc.cause)
+
+        proc = env.process(body())
+
+        def driver():
+            yield env.timeout(1.0)
+            proc.interrupt(cause="crash")
+            yield env.timeout(1.0)
+            e1.fail(SimulationError("loser fails late"))
+            e2.succeed()
+
+        env.process(driver())
+        env.run()
+        assert caught == ["crash"]
+        assert env.queue_size == 0
+
+    def test_double_interrupt_delivers_both_causes(self):
+        env = Environment()
+        causes = []
+
+        def body():
+            for _ in range(2):
+                try:
+                    yield env.timeout(10.0)
+                except Interrupted as exc:
+                    causes.append(exc.cause)
+            return "ok"
+
+        proc = env.process(body())
+
+        def driver():
+            yield env.timeout(1.0)
+            proc.interrupt(cause="first")
+            proc.interrupt(cause="second")
+
+        env.process(driver())
+        env.run()
+        assert causes == ["first", "second"]
+        assert proc.triggered and proc.value == "ok"
+
+    def test_interrupting_completed_process_rejected(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(1.0)
+
+        proc = env.process(body())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_abandoned_target_failure_is_defused(self):
+        env = Environment()
+        risky = env.event()
+        log = []
+
+        def body():
+            try:
+                yield risky
+            except Interrupted:
+                log.append("interrupted")
+            yield env.timeout(3.0)
+            log.append("moved on")
+
+        proc = env.process(body())
+
+        def driver():
+            yield env.timeout(1.0)
+            proc.interrupt()
+            yield env.timeout(1.0)
+            risky.fail(SimulationError("boom"))  # nobody is waiting anymore
+
+        env.process(driver())
+        env.run()  # would raise "boom" if the stale failure escaped
+        assert log == ["interrupted", "moved on"]
+        assert env.queue_size == 0
+
+
+class TestRemoteFlowLatency:
+    def test_one_byte_remote_transfer_pays_latency(self):
+        # Regression: remote flows used to complete on bandwidth time
+        # alone, never paying FLOW_LATENCY_S.
+        env = Environment()
+        net = make_network(env)
+        env.run(until=net.transfer(0, 1, 1.0))
+        assert env.now >= FLOW_LATENCY_S
+        assert env.now == pytest.approx(FLOW_LATENCY_S + 1.0 / BW, rel=0.01)
+
+    def test_latency_added_once_not_per_rebalance(self):
+        env = Environment()
+        net = make_network(env)
+        done = env.all_of([net.transfer(0, 2, 50 * MB),
+                           net.transfer(1, 2, 50 * MB)])
+        env.run(until=done)
+        # Shared receiver: 100 MB through 100 MB/s plus one latency each.
+        assert env.now == pytest.approx(1.0 + FLOW_LATENCY_S, rel=0.01)
+
+
+class TestWaiterAccounting:
+    """Superseded completion waiters must be reused, not leaked."""
+
+    def test_network_churn_schedules_linearly_and_drains(self):
+        # 100 staggered flows force ~200 rebalances.  The old code
+        # spawned a fresh completion process per rebalance, leaving
+        # O(n^2) dead heap events; the persistent waiter keeps the
+        # schedule linear (~6 events/flow measured) and the queue empty.
+        env = Environment()
+        net = make_network(env, machines=8)
+        flows = []
+
+        def driver():
+            for i in range(100):
+                flows.append(net.transfer(i % 4, 4 + (i % 4), 10 * MB))
+                yield env.timeout(0.01)
+
+        env.process(driver())
+        env.run()
+        assert all(flow.triggered for flow in flows)
+        assert env.queue_size == 0
+        assert env.events_scheduled < 100 * 15
+
+    def test_ssd_churn_schedules_linearly_and_drains(self):
+        env = Environment()
+        disk = Disk(env, SSD)
+        requests = []
+
+        def driver():
+            for _ in range(50):
+                requests.append(disk.read(4 * MB))
+                yield env.timeout(0.001)
+
+        env.process(driver())
+        env.run()
+        assert all(request.triggered for request in requests)
+        assert env.queue_size == 0
+        assert env.events_scheduled < 50 * 10
