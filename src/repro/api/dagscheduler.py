@@ -41,12 +41,17 @@ class DagScheduler:
 
     def compile(self, rdd: RDD, output: Any, name: str = "") -> JobPlan:
         """Build the stage DAG that computes ``rdd`` into ``output``."""
-        job_id = self._next_job_id
-        self._next_job_id += 1
+        job_id = self.allocate_job_id()
         builder = _JobBuilder(self, job_id)
         final_stage_id = builder.build_result_stage(rdd, output)
         stages = builder.stages_in_order(final_stage_id)
         return JobPlan(job_id=job_id, stages=stages, name=name)
+
+    def allocate_job_id(self) -> int:
+        """Globally unique job id (used by plan-template instantiation)."""
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        return job_id
 
     def allocate_shuffle_id(self) -> int:
         """Globally unique shuffle id (unique across jobs)."""

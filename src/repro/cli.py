@@ -10,9 +10,11 @@ Examples::
     python -m repro diagnose --degrade-machine 3 --disk-factor 0.3
     python -m repro trace --output trace.json
     python -m repro faults --crash-machine 1 --restart-after 20
+    python -m repro serve --duration 300 --rate 0.1 --max-queued 8
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
-additionally exercise the §6 performance-clarity machinery.
+additionally exercise the §6 performance-clarity machinery, and ``serve``
+runs a continuous multi-tenant request stream with SLO accounting.
 """
 
 from __future__ import annotations
@@ -119,6 +121,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the machine never comes back")
     p.add_argument("--speculation", action="store_true",
                    help="enable straggler speculation")
+
+    p = sub.add_parser("serve",
+                       help="serve a multi-tenant job stream with SLOs")
+    common(p, default_machines=4)
+    p.add_argument("--duration", type=float, default=300.0,
+                   help="arrival horizon in simulated seconds")
+    p.add_argument("--rate", type=float, default=0.1,
+                   help="interactive tenant arrivals per second")
+    p.add_argument("--batch-rate", type=float, default=0.05,
+                   help="batch tenant arrivals per second")
+    p.add_argument("--slo", type=float, default=30.0,
+                   help="interactive tenant SLO in seconds")
+    p.add_argument("--policy",
+                   choices=("fifo", "weighted_fair", "deadline"),
+                   default="weighted_fair")
+    p.add_argument("--max-queued", type=int, default=None,
+                   help="shed arrivals beyond this queue length")
+    p.add_argument("--max-backlog", type=float, default=None,
+                   help="shed arrivals beyond this estimated backlog (s)")
+    p.add_argument("--max-concurrent", type=int, default=None,
+                   help="bound on concurrently running jobs")
+    p.add_argument("--crash-machine", type=int, default=None,
+                   help="crash this machine mid-stream")
+    p.add_argument("--crash-at", type=float, default=60.0)
+    p.add_argument("--restart-after", type=float, default=30.0)
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -295,6 +322,41 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.faults import FaultInjector, FaultPlan, MachineCrash
+    from repro.serve import (AdmissionController, JobServer, PoissonArrivals,
+                             ml_template, wordcount_template)
+
+    cluster = _make_cluster(args)
+    ctx = AnalyticsContext(cluster, engine=args.engine,
+                           scheduling_policy="fair")
+    if args.crash_machine is not None:
+        plan = FaultPlan([MachineCrash(at=args.crash_at,
+                                       machine_id=args.crash_machine,
+                                       restart_after=args.restart_after)])
+        FaultInjector(ctx.engine, plan).start()
+    admission = None
+    if args.max_queued is not None or args.max_backlog is not None:
+        admission = AdmissionController(max_queued_jobs=args.max_queued,
+                                        max_backlog_s=args.max_backlog)
+    server = JobServer(ctx, admission=admission, policy=args.policy,
+                       max_concurrent_jobs=args.max_concurrent,
+                       seed=args.seed)
+    server.add_tenant("interactive", weight=2.0, slo_s=args.slo)
+    server.add_tenant("batch", weight=1.0)
+    server.add_workload(
+        "interactive",
+        wordcount_template(ctx, num_blocks=args.machines * 2, block_mb=32.0,
+                           seed=args.seed),
+        PoissonArrivals(args.rate, horizon_s=args.duration))
+    server.add_workload(
+        "batch",
+        ml_template(ctx, num_partitions=args.machines, seed=args.seed),
+        PoissonArrivals(args.batch_rate, horizon_s=args.duration))
+    print(server.run().format())
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -332,6 +394,7 @@ _COMMANDS = {
     "diagnose": _cmd_diagnose,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "serve": _cmd_serve,
     "reproduce": _cmd_reproduce,
 }
 

@@ -34,7 +34,8 @@ from repro.datamodel.serialization import DESERIALIZED
 from repro.datamodel.shuffle import MapOutputRegistry
 from repro.engine.semantics import ResolvedInput, TaskWork, compute_task_work
 from repro.errors import (ExecutionError, FaultError, FetchFailed,
-                          Interrupted, ReproError, TaskFailedError)
+                          Interrupted, ReproError, SimulationError,
+                          TaskFailedError)
 from repro.faults.policy import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import SpeculationRecord, TaskAttemptRecord
@@ -491,19 +492,42 @@ class BaseEngine:
 
     # -- public API ---------------------------------------------------------------
 
+    @property
+    def live_machine_count(self) -> int:
+        """Machines currently accepting work (not crashed)."""
+        return self.cluster.num_machines - len(self._dead_machines)
+
     def run_job(self, plan: JobPlan) -> JobResult:
         """Run one job to completion."""
         return self.run_jobs([plan])[0]
 
     def run_jobs(self, plans: List[JobPlan]) -> List[JobResult]:
         """Run jobs concurrently; returns once all complete."""
-        results: Dict[int, JobResult] = {}
+        seen: Set[int] = set()
         for plan in plans:
-            self._plans[plan.job_id] = plan
-        drivers = [self.env.process(self._job_driver(plan, results))
-                   for plan in plans]
+            if plan.job_id in seen:
+                raise SimulationError(
+                    f"duplicate job id {plan.job_id} in batch (job ids key "
+                    f"results and shuffle lineage; compile each job once)")
+            seen.add(plan.job_id)
+        drivers = [self.submit_job(plan) for plan in plans]
         self.env.run(until=self.env.all_of(drivers))
-        return [results[plan.job_id] for plan in plans]
+        return [driver.value for driver in drivers]
+
+    def submit_job(self, plan: JobPlan) -> Process:
+        """Inject a job into a (possibly already running) environment.
+
+        Unlike :meth:`run_jobs`, this does not drive the event loop: it
+        starts the job's driver process and returns it, so callers like
+        :class:`repro.serve.JobServer` can stream jobs in while earlier
+        jobs are still executing.  The returned :class:`Process` is an
+        event whose value is the job's :class:`JobResult`.
+        """
+        if plan.job_id in self._plans:
+            raise SimulationError(
+                f"job id {plan.job_id} was already submitted to this engine")
+        self._plans[plan.job_id] = plan
+        return self.env.process(self._job_driver(plan))
 
     # -- fault entry points --------------------------------------------------------
 
@@ -590,8 +614,7 @@ class BaseEngine:
 
     # -- job driving ---------------------------------------------------------------
 
-    def _job_driver(self, plan: JobPlan,
-                    results: Dict[int, JobResult]) -> Generator:
+    def _job_driver(self, plan: JobPlan) -> Generator:
         self.metrics.job_started(plan.job_id, plan.name, self.env.now)
         start = self.env.now
         self._prepare_outputs(plan)
@@ -602,8 +625,7 @@ class BaseEngine:
         yield self.env.all_of(list(stage_done.values()))
         self._release_in_memory_shuffle(plan.job_id)
         self.metrics.job_finished(plan.job_id, self.env.now)
-        results[plan.job_id] = self._assemble_result(plan, start)
-        return results[plan.job_id]
+        return self._assemble_result(plan, start)
 
     def note_in_memory_shuffle(self, job_id: int, machine: Machine,
                                nbytes: float) -> None:

@@ -7,7 +7,7 @@ from repro.metrics.events import (CPU, DISK, NETWORK, JobRecord,
                                   PHASE_OUTPUT_WRITE, PHASE_SETUP,
                                   PHASE_SHUFFLE_READ, PHASE_SHUFFLE_SERVE,
                                   PHASE_SHUFFLE_WRITE, ResourceUsageRecord,
-                                  StageRecord, TaskRecord)
+                                  ServeRecord, StageRecord, TaskRecord)
 from repro.metrics.report import format_seconds, format_table, print_table
 from repro.metrics.timeline import render_timeline
 from repro.metrics.utilization import (UtilizationSummary,
@@ -21,6 +21,7 @@ __all__ = [
     "TaskRecord",
     "StageRecord",
     "JobRecord",
+    "ServeRecord",
     "CPU",
     "DISK",
     "NETWORK",

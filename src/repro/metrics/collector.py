@@ -6,8 +6,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.metrics.events import (CPU, DISK, NETWORK, FaultEventRecord,
                                   JobRecord, MonotaskRecord,
-                                  ResourceUsageRecord, SpeculationRecord,
-                                  StageRecord, TaskAttemptRecord, TaskRecord)
+                                  ResourceUsageRecord, ServeRecord,
+                                  SpeculationRecord, StageRecord,
+                                  TaskAttemptRecord, TaskRecord)
 
 __all__ = ["MetricsCollector"]
 
@@ -22,6 +23,7 @@ class MetricsCollector:
         self.attempts: List[TaskAttemptRecord] = []
         self.faults: List[FaultEventRecord] = []
         self.speculations: List[SpeculationRecord] = []
+        self.serves: List[ServeRecord] = []
         self.stages: Dict[Tuple[int, int], StageRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
 
@@ -46,6 +48,10 @@ class MetricsCollector:
     def record_resource_usage(self, record: ResourceUsageRecord) -> None:
         """Append a Spark-engine per-task ground-truth record."""
         self.resource_usage.append(record)
+
+    def record_serve(self, record: ServeRecord) -> None:
+        """Append one served (or shed) job request."""
+        self.serves.append(record)
 
     def task_started(self, job_id: int, stage_id: int, task_index: int,
                      machine_id: int, now: float) -> TaskRecord:
@@ -144,6 +150,30 @@ class MetricsCollector:
                 continue
             counts[attempt.outcome] = counts.get(attempt.outcome, 0) + 1
         return counts
+
+    def serve_records(self, tenant: Optional[str] = None) -> List[ServeRecord]:
+        """Serve records, optionally restricted to one tenant."""
+        return [s for s in self.serves
+                if tenant is None or s.tenant == tenant]
+
+    def queue_seconds_by_resource(
+            self, job_ids: Optional[Iterable[int]] = None
+    ) -> Dict[str, float]:
+        """Total monotask queue time per resource (cpu/disk/network).
+
+        This is the §3.1 "visible contention": time monotasks spent
+        waiting at the per-resource schedulers.  Only the MonoSpark
+        engine emits monotask records, so for the Spark engine every
+        total is zero -- queueing exists but cannot be attributed.
+        """
+        wanted = None if job_ids is None else set(job_ids)
+        totals = {CPU: 0.0, DISK: 0.0, NETWORK: 0.0}
+        for record in self.monotasks:
+            if wanted is not None and record.job_id not in wanted:
+                continue
+            totals[record.resource] = (totals.get(record.resource, 0.0)
+                                       + record.queue_s)
+        return totals
 
     def retry_count(self, job_id: Optional[int] = None) -> int:
         """Non-speculative attempts beyond each task's first."""

@@ -24,6 +24,7 @@ __all__ = [
     "TaskAttemptRecord",
     "FaultEventRecord",
     "SpeculationRecord",
+    "ServeRecord",
     "CPU",
     "DISK",
     "NETWORK",
@@ -168,6 +169,52 @@ class SpeculationRecord:
     task_index: int
     at: float
     original_machine_id: int
+
+
+@dataclass
+class ServeRecord:
+    """One job request's life in a :class:`repro.serve.JobServer` run.
+
+    ``outcome`` is ``"completed"`` (the job ran to completion) or
+    ``"shed"`` (the admission controller rejected it; ``detail`` holds
+    the reason and no dispatch/completion times exist).
+    """
+
+    tenant: str
+    template: str
+    arrival: float
+    #: Engine job id; -1 for shed requests (never instantiated).
+    job_id: int = -1
+    dispatched: float = float("nan")
+    completed: float = float("nan")
+    outcome: str = "completed"
+    #: The admission controller's cost estimate (None = no estimate yet).
+    estimate_s: Optional[float] = None
+    #: The tenant's latency SLO at submission time (None = best effort).
+    slo_s: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Seconds between arrival and dispatch to the engine."""
+        return self.dispatched - self.arrival
+
+    @property
+    def service_s(self) -> float:
+        """Seconds between dispatch and completion."""
+        return self.completed - self.dispatched
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end seconds between arrival and completion."""
+        return self.completed - self.arrival
+
+    @property
+    def slo_met(self) -> Optional[bool]:
+        """Whether the request met its SLO (None = no SLO declared)."""
+        if self.slo_s is None:
+            return None
+        return self.outcome == "completed" and self.latency_s <= self.slo_s
 
 
 @dataclass

@@ -40,6 +40,8 @@ def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile (q in [0, 100]) of ``values``."""
     if not values:
         raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100]: {q}")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

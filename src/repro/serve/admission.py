@@ -1,0 +1,119 @@
+"""Admission control: performance clarity applied online.
+
+Before a request is queued, its cost is *estimated* and the controller
+decides whether the system can absorb it.  The estimate is where the
+paper's §6 model earns its keep outside of offline what-if analysis:
+
+* On MonoSpark, the estimator keeps the last completed instance's
+  monotask profiles and asks :func:`repro.model.predict` what the job
+  would cost *on the machines currently alive* -- so after a crash the
+  admission controller immediately prices jobs on the shrunken cluster.
+* On Spark there are no monotask records (§6.6), so the estimator can
+  only smooth previously measured runtimes, and it cannot correct for
+  lost machines.  The contrast is the paper's clarity argument, online.
+
+Shedding is deterministic: a request is rejected iff a configured bound
+(queue length, or estimated backlog seconds) would be exceeded, and the
+decision depends only on simulation state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.base import BaseEngine, JobResult
+from repro.errors import ConfigError, ModelError
+from repro.metrics.collector import MetricsCollector
+from repro.model import (HardwareProfile, StageProfile, WhatIf,
+                         hardware_profile, predict, profile_job)
+
+__all__ = ["CostEstimator", "AdmissionController"]
+
+
+class CostEstimator:
+    """Per-template service-time estimates learned from completed jobs."""
+
+    def __init__(self, engine: BaseEngine,
+                 smoothing: float = 0.5) -> None:
+        if not 0 < smoothing <= 1.0:
+            raise ConfigError(f"smoothing must be in (0, 1]: {smoothing}")
+        self.engine = engine
+        self.hardware: HardwareProfile = hardware_profile(engine.cluster)
+        #: EWMA weight of the newest measurement.
+        self.smoothing = smoothing
+        #: template -> smoothed measured duration (all engines).
+        self._measured: Dict[str, float] = {}
+        #: template -> monotask profiles of the latest completed instance
+        #: (MonoSpark only; Spark jobs produce no monotask records).
+        self._profiles: Dict[str, List[StageProfile]] = {}
+
+    def observe(self, template: str, metrics: MetricsCollector,
+                result: JobResult) -> None:
+        """Fold one completed instance into the template's estimate."""
+        previous = self._measured.get(template)
+        if previous is None:
+            self._measured[template] = result.duration
+        else:
+            self._measured[template] = (
+                self.smoothing * result.duration
+                + (1.0 - self.smoothing) * previous)
+        try:
+            self._profiles[template] = profile_job(metrics, result.job_id)
+        except ModelError:
+            pass  # Spark engine: no monotask records to profile.
+
+    def estimate(self, template: str) -> Optional[float]:
+        """Estimated service seconds for one instance, or None if the
+        template has never completed (first instances are admitted on
+        faith)."""
+        measured = self._measured.get(template)
+        if measured is None:
+            return None
+        profiles = self._profiles.get(template)
+        live = self.engine.live_machine_count
+        if profiles is None or live == self.hardware.num_machines:
+            return measured
+        # The model re-prices the job on the machines still alive --
+        # only possible because monotask profiles separate the job's
+        # resource demand from the hardware it ran on.
+        degraded = WhatIf(hardware=self.hardware.scaled(machines=live))
+        return predict(profiles, measured, self.hardware,
+                       degraded).predicted_s
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Bounded-queue admission with estimate-based load shedding.
+
+    ``max_queued_jobs`` bounds how many admitted requests may wait for
+    dispatch; ``max_backlog_s`` bounds the *estimated* seconds of queued
+    service time (requests without an estimate count as zero -- a
+    template's first instance is never shed by the backlog bound).
+    """
+
+    max_queued_jobs: Optional[int] = None
+    max_backlog_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queued_jobs is not None and self.max_queued_jobs < 0:
+            raise ConfigError(
+                f"max_queued_jobs must be >= 0: {self.max_queued_jobs}")
+        if self.max_backlog_s is not None and not (self.max_backlog_s > 0):
+            raise ConfigError(
+                f"max_backlog_s must be > 0: {self.max_backlog_s}")
+
+    def decide(self, estimate_s: Optional[float],
+               queued_estimates: Sequence[Optional[float]]
+               ) -> Tuple[bool, str]:
+        """(admit, reason); shed reasons are deterministic strings."""
+        if self.max_queued_jobs is not None and \
+                len(queued_estimates) >= self.max_queued_jobs:
+            return False, f"queue full ({self.max_queued_jobs} jobs)"
+        if self.max_backlog_s is not None:
+            backlog = sum(e for e in queued_estimates if e is not None)
+            added = estimate_s if estimate_s is not None else 0.0
+            if backlog + added > self.max_backlog_s:
+                return False, (f"backlog {backlog + added:.1f}s over "
+                               f"{self.max_backlog_s:.1f}s")
+        return True, ""

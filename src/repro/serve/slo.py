@@ -1,0 +1,190 @@
+"""SLO accounting: per-tenant latency distributions and attainment.
+
+A :class:`ServeReport` summarizes a serving run from the
+:class:`~repro.metrics.events.ServeRecord` stream: per-tenant
+p50/p95/p99 request latency, the split of that latency into queueing
+delay and service time, shed and goodput counts, and SLO attainment.
+
+On MonoSpark the report additionally attributes each tenant's queueing
+to specific resources (CPU vs disk vs network queue seconds from the
+per-monotask records) -- the paper's performance-clarity signal carried
+into a serving context.  Spark exposes no such decomposition, which the
+report states explicitly rather than printing zeros.
+
+Everything in the report is a deterministic function of the simulation,
+and ``format()`` renders with fixed precision, so a repeated run with
+the same seed produces a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.events import ServeRecord
+from repro.metrics.report import format_table
+from repro.metrics.utilization import percentile
+
+__all__ = ["TenantStats", "ServeReport"]
+
+
+@dataclass
+class TenantStats:
+    """Aggregates for one tenant over a serving run."""
+
+    tenant: str
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    #: Completed-request latency percentiles (arrival -> completion).
+    p50_s: Optional[float] = None
+    p95_s: Optional[float] = None
+    p99_s: Optional[float] = None
+    mean_queue_delay_s: Optional[float] = None
+    mean_service_s: Optional[float] = None
+    slo_s: Optional[float] = None
+    #: Completed within the SLO (goodput); None when the tenant has no SLO.
+    goodput: Optional[int] = None
+
+    @property
+    def submitted(self) -> int:
+        """All requests the tenant submitted, whatever their fate."""
+        return self.completed + self.failed + self.shed
+
+    @property
+    def attainment(self) -> Optional[float]:
+        """Fraction of *submitted* requests that met the SLO.
+
+        Shed and failed requests count against attainment: from the
+        tenant's point of view a rejected request is a missed SLO.
+        """
+        if self.goodput is None or self.submitted == 0:
+            return None
+        return self.goodput / self.submitted
+
+
+def _tenant_stats(tenant: str, records: Sequence[ServeRecord]
+                  ) -> TenantStats:
+    stats = TenantStats(tenant=tenant)
+    latencies: List[float] = []
+    queue_delays: List[float] = []
+    services: List[float] = []
+    goodput = 0
+    has_slo = False
+    for record in records:
+        if record.slo_s is not None:
+            has_slo = True
+            stats.slo_s = record.slo_s
+        if record.outcome == "shed":
+            stats.shed += 1
+            continue
+        if record.outcome == "failed":
+            stats.failed += 1
+            continue
+        stats.completed += 1
+        latencies.append(record.latency_s)
+        queue_delays.append(record.queue_delay_s)
+        services.append(record.service_s)
+        if record.slo_met:
+            goodput += 1
+    if latencies:
+        stats.p50_s = percentile(latencies, 50)
+        stats.p95_s = percentile(latencies, 95)
+        stats.p99_s = percentile(latencies, 99)
+        stats.mean_queue_delay_s = sum(queue_delays) / len(queue_delays)
+        stats.mean_service_s = sum(services) / len(services)
+    if has_slo:
+        stats.goodput = goodput
+    return stats
+
+
+def _cell(value: Optional[float], precision: int = 2) -> str:
+    return "-" if value is None else f"{value:.{precision}f}"
+
+
+@dataclass
+class ServeReport:
+    """The outcome of one serving run, renderable as stable text."""
+
+    engine_name: str
+    duration_s: float
+    stats: List[TenantStats] = field(default_factory=list)
+    #: tenant -> resource -> monotask queue seconds (MonoSpark only).
+    queue_attribution: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
+    records: List[ServeRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
+                     tenants: Sequence[str],
+                     duration_s: float) -> "ServeReport":
+        """Build the report for ``tenants`` from recorded serve events."""
+        report = cls(engine_name=engine_name, duration_s=duration_s,
+                     records=list(metrics.serves))
+        attributable = False
+        for tenant in tenants:
+            records = metrics.serve_records(tenant=tenant)
+            report.stats.append(_tenant_stats(tenant, records))
+            job_ids = [r.job_id for r in records if r.job_id >= 0]
+            by_resource = metrics.queue_seconds_by_resource(job_ids)
+            report.queue_attribution[tenant] = by_resource
+            if any(v > 0 for v in by_resource.values()):
+                attributable = True
+        if not attributable:
+            report.queue_attribution = {}
+        return report
+
+    @property
+    def total_shed(self) -> int:
+        """Requests rejected by admission control, across tenants."""
+        return sum(s.shed for s in self.stats)
+
+    @property
+    def total_completed(self) -> int:
+        """Requests served to completion, across tenants."""
+        return sum(s.completed for s in self.stats)
+
+    def tenant(self, name: str) -> TenantStats:
+        """The named tenant's stats (KeyError if absent)."""
+        for stats in self.stats:
+            if stats.tenant == name:
+                return stats
+        raise KeyError(name)
+
+    def format(self) -> str:
+        """Render the report; byte-identical across identical runs."""
+        title = (f"SLO report ({self.engine_name}, "
+                 f"{self.duration_s:.1f}s simulated)")
+        rows = []
+        for s in self.stats:
+            attainment = s.attainment
+            rows.append([
+                s.tenant, s.submitted, s.completed, s.failed, s.shed,
+                _cell(s.p50_s), _cell(s.p95_s), _cell(s.p99_s),
+                _cell(s.mean_queue_delay_s), _cell(s.mean_service_s),
+                _cell(s.slo_s, 1),
+                "-" if attainment is None else f"{100 * attainment:.1f}%",
+            ])
+        lines = [format_table(
+            ["tenant", "jobs", "done", "failed", "shed", "p50 (s)",
+             "p95 (s)", "p99 (s)", "queue (s)", "service (s)", "SLO (s)",
+             "attained"],
+            rows, title=title)]
+        if self.queue_attribution:
+            attrib_rows = [
+                [tenant,
+                 f"{by_resource.get('cpu', 0.0):.2f}",
+                 f"{by_resource.get('disk', 0.0):.2f}",
+                 f"{by_resource.get('network', 0.0):.2f}"]
+                for tenant, by_resource in
+                sorted(self.queue_attribution.items())]
+            lines.append(format_table(
+                ["tenant", "cpu (s)", "disk (s)", "network (s)"],
+                attrib_rows,
+                title="Queueing attribution (monotask queue seconds)"))
+        else:
+            lines.append("Queueing attribution: unavailable (no monotask "
+                         "records; Spark cannot say which resource "
+                         "queued)")
+        return "\n\n".join(lines)

@@ -89,7 +89,10 @@ class SparkTaskRun:
         yield from self._compute(cost.task_setup_s)
 
         units = self._build_units()
-        total_stored = sum(unit.stored_bytes for unit in units) or 1.0
+        # Note: may be 0.0 (e.g. LocalInput ships with the task); the
+        # compute loop then spreads CPU evenly across units instead of
+        # proportionally to bytes.
+        total_stored = sum(unit.stored_bytes for unit in units)
         ready: Store = Store(self.env, capacity=self._pipeline_depth())
         self.env.process(self._feed_units(units, ready))
 

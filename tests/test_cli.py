@@ -7,6 +7,10 @@ import pytest
 from repro.cli import build_parser, main
 
 
+ALL_COMMANDS = ("sort", "bdb", "ml", "wordcount", "whatif", "diagnose",
+                "trace", "faults", "serve", "reproduce")
+
+
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
@@ -15,6 +19,21 @@ class TestParser:
             args = parser.parse_args([command] if command != "bdb"
                                      else ["bdb", "--query", "1a"])
             assert args.command == command or command == "bdb"
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ALL_COMMANDS:
+            assert command in out
+
+    @pytest.mark.parametrize("command", ALL_COMMANDS)
+    def test_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -68,6 +87,16 @@ class TestCommands:
                      "--degrade-machine", "1", "--disk-factor", "0.3"])
         assert code == 3
         assert "slow disks: [1]" in capsys.readouterr().out
+
+    def test_serve(self, capsys):
+        code = main(["serve", "--machines", "2", "--fraction", "0.01",
+                     "--duration", "60", "--rate", "0.05",
+                     "--batch-rate", "0.02", "--max-queued", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "interactive" in out
+        assert "Queueing attribution" in out
 
     def test_trace_writes_file(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"

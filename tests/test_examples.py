@@ -41,3 +41,9 @@ class TestExamples:
         assert "fault-free run" in out
         assert "machine-crash" in out
         assert "lineage" in out
+
+    def test_serving(self, capsys):
+        out = run_example("serving", capsys)
+        assert "SLO report (spark" in out
+        assert "SLO report (monospark" in out
+        assert "Queueing attribution (monotask queue seconds)" in out

@@ -90,6 +90,22 @@ class TestUtilizationHelpers:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_percentile_single_element(self):
+        for q in (0, 37.5, 50, 99, 100):
+            assert percentile([7.0], q) == 7.0
+
+    def test_percentile_interpolates_between_ranks(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 25) == pytest.approx(2.5)
+        assert percentile(values, 95) == pytest.approx(9.5)
+        # Input order must not matter.
+        assert percentile([10.0, 0.0], 95) == pytest.approx(9.5)
+
+    def test_percentile_rejects_out_of_range_q(self):
+        for q in (-0.1, 100.1, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                percentile([1.0, 2.0], q)
+
     def test_ranked_resources(self):
         summary = UtilizationSummary(cpu=0.9, disks=[0.3, 0.7],
                                      net_rx=0.5, net_tx=0.2)
