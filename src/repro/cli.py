@@ -11,10 +11,13 @@ Examples::
     python -m repro trace --output trace.json
     python -m repro faults --crash-machine 1 --restart-after 20
     python -m repro serve --duration 300 --rate 0.1 --max-queued 8
+    python -m repro health --degrade-machine 1 --factor 10
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
-additionally exercise the §6 performance-clarity machinery, and ``serve``
-runs a continuous multi-tenant request stream with SLO accounting.
+additionally exercise the §6 performance-clarity machinery, ``serve``
+runs a continuous multi-tenant request stream with SLO accounting, and
+``health`` degrades one machine's NIC mid-stream and shows the online
+health monitor detecting, attributing, and excluding it.
 """
 
 from __future__ import annotations
@@ -146,6 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash this machine mid-stream")
     p.add_argument("--crash-at", type=float, default=60.0)
     p.add_argument("--restart-after", type=float, default=30.0)
+
+    p = sub.add_parser("health",
+                       help="degrade a NIC mid-stream, watch online "
+                            "detection and exclusion")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--degrade-machine", type=int, default=1)
+    p.add_argument("--degrade-at", type=float, default=5.0)
+    p.add_argument("--factor", type=float, default=10.0,
+                   help="NIC slowdown factor (>1 = slower)")
+    p.add_argument("--jobs", type=int, default=12,
+                   help="sequential word-count jobs to run")
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="heartbeat/estimation interval in seconds")
+    p.add_argument("--no-monitor", action="store_true",
+                   help="run without the health monitor (for contrast)")
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -357,6 +376,58 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_health(args) -> int:
+    from repro.faults import FaultInjector, fail_slow_plan
+    from repro.health import HealthMonitor, HealthPolicy
+    from repro.serve import wordcount_template
+
+    if not 0 <= args.degrade_machine < args.machines:
+        print(f"--degrade-machine must be in [0, {args.machines})")
+        return 2
+    cluster = _make_cluster(args)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    env = ctx.engine.env
+    plan = fail_slow_plan(machine_id=args.degrade_machine,
+                          at=args.degrade_at, factor=args.factor)
+    FaultInjector(ctx.engine, plan).start()
+    monitor = None
+    if not args.no_monitor:
+        monitor = HealthMonitor(
+            ctx.engine, HealthPolicy(interval_s=args.interval))
+        monitor.start()
+    template = wordcount_template(ctx, num_blocks=args.machines * 2,
+                                  block_mb=32.0, seed=args.seed)
+    print(f"degrade machine {args.degrade_machine} NIC {args.factor:g}x "
+          f"at {format_seconds(args.degrade_at)} on "
+          f"{ctx.cluster.describe()}; monitor "
+          f"{'off' if args.no_monitor else 'on'}")
+    for i in range(args.jobs):
+        driver = ctx.engine.submit_job(template.instantiate(ctx))
+        start = env.now
+        env.run(until=driver)
+        print(f"job {i:2d}: {format_seconds(env.now - start)}")
+    if monitor is not None:
+        monitor.stop()
+    env.run()
+    events = ctx.metrics.health_events
+    if events:
+        print()
+        print("health events:")
+        for h in events:
+            relative = ("" if h.relative_rate != h.relative_rate
+                        else f" rel={h.relative_rate:.3f}")
+            detail = f" ({h.detail})" if h.detail else ""
+            resource = f" {h.resource}" if h.resource else ""
+            print(f"  t={h.at:7.1f}  {h.kind:10s} machine "
+                  f"{h.machine_id}{resource}{relative}{detail}")
+        excluded = sorted(ctx.engine.excluded_machines)
+        print(f"excluded at end: {excluded if excluded else 'none'}")
+    elif monitor is not None:
+        print("\nno health events (nothing fell below the cluster-typical "
+              "rate)")
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -395,6 +466,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "serve": _cmd_serve,
+    "health": _cmd_health,
     "reproduce": _cmd_reproduce,
 }
 

@@ -34,8 +34,8 @@ from repro.datamodel.serialization import DESERIALIZED
 from repro.datamodel.shuffle import MapOutputRegistry
 from repro.engine.semantics import ResolvedInput, TaskWork, compute_task_work
 from repro.errors import (ExecutionError, FaultError, FetchFailed,
-                          Interrupted, ReproError, SimulationError,
-                          TaskFailedError)
+                          Interrupted, LinkPartitionError, ReproError,
+                          SimulationError, TaskFailedError)
 from repro.faults.policy import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import SpeculationRecord, TaskAttemptRecord
@@ -159,8 +159,13 @@ class TaskPool:
         self.on_fetch_failed = on_fetch_failed
         self.pending: Deque[_Attempt] = deque()
         self.free_slots: Dict[int, int] = dict(concurrency)
+        self._concurrency: Dict[int, int] = dict(concurrency)
         self._states: Dict[str, _TaskState] = {}
         self._dead: Set[int] = set()
+        #: Health-excluded machines: alive but not schedulable.
+        self._excluded: Set[int] = set()
+        #: machine -> probe-slot cap while on probation.
+        self._probation_caps: Dict[int, int] = {}
         self._last_job_served: Optional[int] = None
 
     def submit(self, descriptor: TaskDescriptor) -> Event:
@@ -219,6 +224,50 @@ class TaskPool:
         """A machine restarted: resume placing work on it."""
         self._dead.discard(machine_id)
         self._dispatch()
+
+    def set_machine_excluded(self, machine_id: int) -> None:
+        """Health exclusion: stop placing new work on a machine.
+
+        Unlike :meth:`set_machine_dead` nothing is killed -- the machine
+        is slow, not gone, so in-flight attempts may still finish (and
+        :meth:`redispatch_from` races duplicates against them).
+        """
+        self._excluded.add(machine_id)
+        self._probation_caps.pop(machine_id, None)
+
+    def set_machine_probation(self, machine_id: int, slots: int) -> None:
+        """Allow at most ``slots`` concurrent probe attempts on a
+        previously excluded machine."""
+        self._excluded.discard(machine_id)
+        self._probation_caps[machine_id] = max(1, slots)
+        self._dispatch()
+
+    def set_machine_schedulable(self, machine_id: int) -> None:
+        """Fully reinstate a machine after probation."""
+        self._excluded.discard(machine_id)
+        self._probation_caps.pop(machine_id, None)
+        self._dispatch()
+
+    def redispatch_from(self, machine_id: int) -> int:
+        """Speculatively duplicate in-flight work away from a machine.
+
+        Used when health monitoring excludes a fail-slow machine: its
+        running attempts are not killed (they might still win), but each
+        gets a duplicate elsewhere via the normal speculation path.
+        Returns the number of duplicates launched.
+        """
+        launched = 0
+        for task_id, state in list(self._states.items()):
+            if state.finished or state.speculated:
+                continue
+            if len(state.active) != 1:
+                continue
+            attempt = next(iter(state.active.values()))
+            if attempt.machine_id != machine_id:
+                continue
+            if self.speculate(task_id):
+                launched += 1
+        return launched
 
     def speculate(self, task_id: str) -> bool:
         """Launch a duplicate attempt of a straggling task.
@@ -297,9 +346,17 @@ class TaskPool:
         return self.pending[0]
 
     def _usable(self, machine_id: int, attempt: _Attempt) -> bool:
-        return (machine_id not in self._dead
-                and machine_id not in attempt.avoid
-                and self.free_slots.get(machine_id, 0) > 0)
+        if (machine_id in self._dead or machine_id in self._excluded
+                or machine_id in attempt.avoid
+                or self.free_slots.get(machine_id, 0) <= 0):
+            return False
+        cap = self._probation_caps.get(machine_id)
+        if cap is not None:
+            in_flight = (self._concurrency[machine_id]
+                         - self.free_slots[machine_id])
+            if in_flight >= cap:
+                return False
+        return True
 
     def _choose_machine(self, attempt: _Attempt) -> Optional[int]:
         """Freest preferred machine, else the freest machine overall."""
@@ -368,7 +425,7 @@ class TaskPool:
                         process.interrupt(cause="speculation-lost")
                 state.done.succeed()
         else:
-            self._handle_failure(state, outcome, error)
+            self._handle_failure(state, attempt, outcome, error)
         self._dispatch()
 
     def _record_attempt(self, attempt: _Attempt, outcome: str,
@@ -391,7 +448,8 @@ class TaskPool:
             start=attempt.started_at, end=self.env.now, outcome=outcome,
             speculative=attempt.speculative, detail=detail))
 
-    def _handle_failure(self, state: _TaskState, outcome: str,
+    def _handle_failure(self, state: _TaskState, attempt: _Attempt,
+                        outcome: str,
                         error: Optional[BaseException]) -> None:
         if state.finished or state.done.triggered:
             return
@@ -418,13 +476,22 @@ class TaskPool:
                 f"task {task_id} failed after {state.failures} "
                 f"attempts: {error}"))
             return
-        self.env.process(self._backoff_and_requeue(state))
+        # A partitioned fetch would fail identically on the same
+        # destination; retry the task on a different machine.
+        avoid: FrozenSet[int] = frozenset()
+        if isinstance(error, LinkPartitionError) \
+                and attempt.machine_id is not None \
+                and len(self.machines) > 1:
+            avoid = frozenset({attempt.machine_id})
+        self.env.process(self._backoff_and_requeue(state, avoid))
 
-    def _backoff_and_requeue(self, state: _TaskState) -> Generator:
+    def _backoff_and_requeue(self, state: _TaskState,
+                             avoid: FrozenSet[int] = frozenset()
+                             ) -> Generator:
         yield self.env.timeout(self.recovery.backoff_s(state.failures))
         if state.done.triggered:
             return
-        self._requeue(state)
+        self._requeue(state, avoid=avoid)
         self._dispatch()
 
     def _recover_and_requeue(self, state: _TaskState,
@@ -463,6 +530,7 @@ class BaseEngine:
         #: shuffle_id -> in-flight recovery barrier (dedupes recoveries).
         self._recovering: Dict[int, Event] = {}
         self._dead_machines: Set[int] = set()
+        self._excluded_machines: Set[int] = set()
         self.pool = TaskPool(
             self.env, cluster.machines,
             {m.machine_id: self.concurrency_for(m) for m in cluster.machines},
@@ -490,12 +558,41 @@ class BaseEngine:
     def _revive_worker(self, machine_id: int) -> None:
         """Engine-specific restart hook."""
 
+    def probation_slots_for(self, machine: Machine) -> int:
+        """Concurrent probe attempts allowed on a machine in probation."""
+        return 1
+
+    def health_estimator(self):
+        """The engine's per-machine rate estimator for health monitoring.
+
+        MonoSpark attributes observed rates to cpu/disk/network from its
+        per-resource monotask records; Spark can only estimate a blended
+        task-level rate (§6.6's observability contrast, online)."""
+        raise NotImplementedError
+
     # -- public API ---------------------------------------------------------------
 
     @property
     def live_machine_count(self) -> int:
         """Machines currently accepting work (not crashed)."""
         return self.cluster.num_machines - len(self._dead_machines)
+
+    @property
+    def schedulable_machine_count(self) -> int:
+        """Machines the scheduler will place new work on: alive and not
+        health-excluded (probation machines count as excluded -- their
+        probe slots are not real capacity)."""
+        return self.cluster.num_machines - len(
+            self._dead_machines | self._excluded_machines)
+
+    @property
+    def excluded_machines(self) -> FrozenSet[int]:
+        """Machines currently excluded (or on probation) by health."""
+        return frozenset(self._excluded_machines)
+
+    def machine_is_dead(self, machine_id: int) -> bool:
+        """Whether a machine is currently crashed."""
+        return machine_id in self._dead_machines
 
     def run_job(self, plan: JobPlan) -> JobResult:
         """Run one job to completion."""
@@ -575,6 +672,35 @@ class BaseEngine:
         machine = self.cluster.machine(machine_id)
         machine.disks[disk_index].fail_all()
         self.map_outputs.invalidate_disk(machine_id, disk_index)
+
+    # -- health exclusion entry points ---------------------------------------------
+
+    def exclude_machine(self, machine_id: int) -> int:
+        """Stop scheduling on a fail-slow machine and speculatively
+        re-dispatch its in-flight work elsewhere.
+
+        The machine stays up -- its data remains fetchable and running
+        attempts may still win -- in contrast to :meth:`crash_machine`.
+        Returns the number of duplicates launched.
+        """
+        self._excluded_machines.add(machine_id)
+        self.pool.set_machine_excluded(machine_id)
+        return self.pool.redispatch_from(machine_id)
+
+    def probation_machine(self, machine_id: int) -> None:
+        """Move an excluded machine to probation: a bounded number of
+        probe attempts (see :meth:`probation_slots_for`) may land on it
+        so the monitor can observe fresh rates, but it still does not
+        count as schedulable capacity."""
+        machine = self.cluster.machine(machine_id)
+        self._excluded_machines.add(machine_id)
+        self.pool.set_machine_probation(
+            machine_id, self.probation_slots_for(machine))
+
+    def reinstate_machine(self, machine_id: int) -> None:
+        """Fully return a machine to service after probation."""
+        self._excluded_machines.discard(machine_id)
+        self.pool.set_machine_schedulable(machine_id)
 
     # -- lineage re-execution ------------------------------------------------------
 
@@ -816,8 +942,11 @@ class BaseEngine:
                 location, disk_index = replica_machine, replica_disk
                 break
         else:
-            # Remote read from the first live replica.
-            location, disk_index = live[0]
+            # Remote read: prefer a replica not on a health-excluded
+            # machine (its NIC is the suspected problem), else any live.
+            preferred = [(m, d) for (m, d) in live
+                         if m not in self._excluded_machines]
+            location, disk_index = (preferred or live)[0]
         return ResolvedInput(partition=payload, stored_bytes=block.nbytes,
                              fmt=spec.fmt, machine_id=location,
                              disk_index=disk_index)

@@ -70,6 +70,11 @@ class DiskFailure(FaultError):
     """A disk failed with requests outstanding."""
 
 
+class LinkPartitionError(FaultError):
+    """A flow was refused or killed by a network partition between its
+    endpoints (fail-fast, so the task layer can back off and retry)."""
+
+
 class FetchFailed(ExecutionError):
     """A reduce task found map output missing (lost with its machine).
 

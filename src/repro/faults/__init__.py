@@ -9,16 +9,21 @@ produces the same trace, injected faults included.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import (DiskFault, FaultPlan, MachineCrash,
-                               TransientSlowdown, random_plan)
+from repro.faults.plan import (DiskFault, FaultPlan, LinkPartition,
+                               MachineCrash, NetworkDegradation,
+                               TransientSlowdown, fail_slow_plan,
+                               random_plan)
 from repro.faults.policy import RecoveryPolicy
 
 __all__ = [
     "DiskFault",
     "FaultInjector",
     "FaultPlan",
+    "LinkPartition",
     "MachineCrash",
+    "NetworkDegradation",
     "RecoveryPolicy",
     "TransientSlowdown",
+    "fail_slow_plan",
     "random_plan",
 ]

@@ -7,13 +7,19 @@ knobs.  Restarts and recoveries are scheduled as separate processes so
 a crash-with-restart does not block later faults.  Every action is
 recorded as a :class:`~repro.metrics.events.FaultEventRecord` so traces
 under the same (plan, seed) are byte-identical.
+
+Gray faults targeting a machine that is already dead at fault time are
+skipped and recorded with ``detail="target down"`` -- degrading a
+corpse is meaningless and restoring it later would fight the crash
+recovery path.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
-from repro.faults.plan import (DiskFault, FaultPlan, MachineCrash,
+from repro.faults.plan import (DiskFault, FaultPlan, LinkPartition,
+                               MachineCrash, NetworkDegradation,
                                TransientSlowdown)
 from repro.metrics.events import FaultEventRecord
 
@@ -36,7 +42,11 @@ class FaultInjector:
         self.engine.metrics.record_fault(FaultEventRecord(
             kind=kind, machine_id=machine_id, at=self.env.now, detail=detail))
 
+    def _target_down(self, machine_id: int) -> bool:
+        return self.engine.machine_is_dead(machine_id)
+
     def _drive(self) -> Generator:
+        network = self.engine.cluster.network
         for fault in self.plan:
             if fault.at > self.env.now:
                 yield self.env.timeout(fault.at - self.env.now)
@@ -46,10 +56,18 @@ class FaultInjector:
                 if fault.restart_after is not None:
                     self.env.process(self._restart(fault))
             elif isinstance(fault, DiskFault):
+                if self._target_down(fault.machine_id):
+                    self._record("disk-failure-skipped", fault.machine_id,
+                                 detail="target down")
+                    continue
                 self.engine.fail_disk(fault.machine_id, fault.disk_index)
                 self._record("disk-failure", fault.machine_id,
                              detail=f"disk {fault.disk_index}")
             elif isinstance(fault, TransientSlowdown):
+                if self._target_down(fault.machine_id):
+                    self._record("slowdown-skipped", fault.machine_id,
+                                 detail="target down")
+                    continue
                 self.engine.cluster.degrade_machine(
                     fault.machine_id,
                     cpu_factor=1.0 / fault.cpu_factor,
@@ -57,6 +75,32 @@ class FaultInjector:
                 self._record("slowdown", fault.machine_id,
                              detail=f"for {fault.duration:g}s")
                 self.env.process(self._restore(fault))
+            elif isinstance(fault, NetworkDegradation):
+                if self._target_down(fault.machine_id):
+                    self._record("net-degradation-skipped", fault.machine_id,
+                                 detail="target down")
+                    continue
+                network.degrade_link(
+                    fault.machine_id,
+                    up_factor=1.0 / fault.up_factor,
+                    down_factor=1.0 / fault.down_factor)
+                duration = ("permanent" if fault.duration is None
+                            else f"for {fault.duration:g}s")
+                self._record("net-degradation", fault.machine_id,
+                             detail=f"{fault.up_factor:g}x/"
+                                    f"{fault.down_factor:g}x {duration}")
+                if fault.duration is not None:
+                    self.env.process(self._restore_link(fault))
+            elif isinstance(fault, LinkPartition):
+                killed = network.partition_link(
+                    fault.src_machine_id, fault.dst_machine_id)
+                heal = ("permanent" if fault.heal_after is None
+                        else f"heals in {fault.heal_after:g}s")
+                self._record("link-partition", fault.src_machine_id,
+                             detail=f"-> {fault.dst_machine_id}, "
+                                    f"{killed} flows killed, {heal}")
+                if fault.heal_after is not None:
+                    self.env.process(self._heal(fault))
 
     def _restart(self, fault: MachineCrash) -> Generator:
         yield self.env.timeout(fault.restart_after)
@@ -65,5 +109,25 @@ class FaultInjector:
 
     def _restore(self, fault: TransientSlowdown) -> Generator:
         yield self.env.timeout(fault.duration)
+        if self._target_down(fault.machine_id):
+            self._record("slowdown-end-skipped", fault.machine_id,
+                         detail="target down")
+            return
         self.engine.cluster.restore_machine(fault.machine_id)
         self._record("slowdown-end", fault.machine_id)
+
+    def _restore_link(self, fault: NetworkDegradation) -> Generator:
+        yield self.env.timeout(fault.duration)
+        if self._target_down(fault.machine_id):
+            self._record("net-degradation-end-skipped", fault.machine_id,
+                         detail="target down")
+            return
+        self.engine.cluster.network.restore_link(fault.machine_id)
+        self._record("net-degradation-end", fault.machine_id)
+
+    def _heal(self, fault: LinkPartition) -> Generator:
+        yield self.env.timeout(fault.heal_after)
+        self.engine.cluster.network.heal_link(
+            fault.src_machine_id, fault.dst_machine_id)
+        self._record("link-heal", fault.src_machine_id,
+                     detail=f"-> {fault.dst_machine_id}")

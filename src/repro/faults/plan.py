@@ -10,13 +10,14 @@ way monotasks make performance debuggable in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import PlanError
 from repro.simulator.rng import RngStreams
 
-__all__ = ["MachineCrash", "DiskFault", "TransientSlowdown", "FaultPlan",
-           "random_plan"]
+__all__ = ["MachineCrash", "DiskFault", "TransientSlowdown",
+           "NetworkDegradation", "LinkPartition", "FaultPlan",
+           "random_plan", "fail_slow_plan"]
 
 
 @dataclass(frozen=True)
@@ -55,9 +56,52 @@ class TransientSlowdown:
     disk_factor: float = 1.0
 
 
-Fault = Union[MachineCrash, DiskFault, TransientSlowdown]
+@dataclass(frozen=True)
+class NetworkDegradation:
+    """A machine's NIC runs slow: a gray failure, not a crash.
 
-_KIND_ORDER = {MachineCrash: 0, DiskFault: 1, TransientSlowdown: 2}
+    ``up_factor`` and ``down_factor`` divide the uplink and downlink
+    bandwidth (both > 1 mean slower, matching
+    :class:`TransientSlowdown`).  ``duration`` is how long the
+    degradation lasts; ``None`` means it never self-heals -- the
+    interesting case for health monitoring, since only exclusion gets
+    the machine out of the critical path.
+    """
+
+    at: float
+    machine_id: int
+    up_factor: float = 1.0
+    down_factor: float = 1.0
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """The directed path ``src -> dst`` is blocked.
+
+    In-flight flows on the path fail fast and new transfers are refused
+    until the partition heals ``heal_after`` seconds later (``None``
+    means it never heals and recovery must come from re-dispatch or
+    lineage re-execution).
+    """
+
+    at: float
+    src_machine_id: int
+    dst_machine_id: int
+    heal_after: Optional[float] = None
+
+
+Fault = Union[MachineCrash, DiskFault, TransientSlowdown,
+              NetworkDegradation, LinkPartition]
+
+_KIND_ORDER = {MachineCrash: 0, DiskFault: 1, TransientSlowdown: 2,
+               NetworkDegradation: 3, LinkPartition: 4}
+
+
+def _sort_ids(fault: Fault) -> tuple:
+    if isinstance(fault, LinkPartition):
+        return (fault.src_machine_id, fault.dst_machine_id)
+    return (fault.machine_id, -1)
 
 
 class FaultPlan:
@@ -67,23 +111,44 @@ class FaultPlan:
         for fault in faults:
             self._validate(fault)
         self.faults: List[Fault] = sorted(
-            faults, key=lambda f: (f.at, _KIND_ORDER[type(f)], f.machine_id))
+            faults,
+            key=lambda f: (f.at, _KIND_ORDER[type(f)]) + _sort_ids(f))
 
     @staticmethod
     def _validate(fault: Fault) -> None:
         if not (fault.at >= 0) or fault.at == float("inf"):
             raise PlanError(f"fault time must be finite and >= 0: {fault!r}")
+        if not isinstance(fault, LinkPartition) and fault.machine_id < 0:
+            raise PlanError(f"machine_id must be >= 0: {fault!r}")
         if isinstance(fault, MachineCrash):
             if fault.restart_after is not None and \
                     not (fault.restart_after > 0):
                 raise PlanError(f"restart_after must be > 0: {fault!r}")
+        elif isinstance(fault, DiskFault):
+            if fault.disk_index < 0:
+                raise PlanError(f"disk_index must be >= 0: {fault!r}")
         elif isinstance(fault, TransientSlowdown):
             if not (fault.duration > 0):
                 raise PlanError(f"slowdown duration must be > 0: {fault!r}")
             if fault.cpu_factor < 1.0 or fault.disk_factor < 1.0:
                 raise PlanError(
                     f"slowdown factors must be >= 1.0: {fault!r}")
-        elif not isinstance(fault, DiskFault):
+        elif isinstance(fault, NetworkDegradation):
+            if fault.up_factor < 1.0 or fault.down_factor < 1.0:
+                raise PlanError(
+                    f"degradation factors must be >= 1.0: {fault!r}")
+            if fault.duration is not None and not (fault.duration > 0):
+                raise PlanError(
+                    f"degradation duration must be > 0: {fault!r}")
+        elif isinstance(fault, LinkPartition):
+            if fault.src_machine_id < 0 or fault.dst_machine_id < 0:
+                raise PlanError(f"machine ids must be >= 0: {fault!r}")
+            if fault.src_machine_id == fault.dst_machine_id:
+                raise PlanError(
+                    f"partition endpoints must differ: {fault!r}")
+            if fault.heal_after is not None and not (fault.heal_after > 0):
+                raise PlanError(f"heal_after must be > 0: {fault!r}")
+        else:
             raise PlanError(f"unknown fault type: {fault!r}")
 
     def __len__(self) -> int:
@@ -93,18 +158,80 @@ class FaultPlan:
         return iter(self.faults)
 
 
+#: Kind names accepted by :func:`random_plan`'s ``kind_weights``.
+_KIND_NAMES = ("crash", "disk", "slowdown", "degradation", "partition")
+
+
 def random_plan(rng: RngStreams, machine_ids: Sequence[int],
                 horizon_s: float, num_faults: int = 1,
-                restart_after: Optional[float] = None) -> FaultPlan:
-    """Sample ``num_faults`` machine crashes from a seeded stream.
+                restart_after: Optional[float] = None,
+                kind_weights: Optional[Dict[str, float]] = None,
+                num_disks: int = 1) -> FaultPlan:
+    """Sample ``num_faults`` faults from a seeded stream.
 
-    The same (seed, machine set, horizon) always yields the same plan.
+    Without ``kind_weights`` every fault is a :class:`MachineCrash`
+    (the historical behavior).  With it, each fault's kind is drawn
+    from the weighted distribution over ``{"crash", "disk",
+    "slowdown", "degradation", "partition"}`` using the *same* seeded
+    stream, so the same (seed, machine set, horizon, weights) always
+    yields the same plan.  ``num_disks`` bounds sampled disk indices.
     """
     stream = rng.stream("fault-plan")
+    machines = sorted(machine_ids)
+    if kind_weights is not None:
+        unknown = sorted(set(kind_weights) - set(_KIND_NAMES))
+        if unknown:
+            raise PlanError(f"unknown fault kinds: {unknown}")
+        kinds = [k for k in _KIND_NAMES if kind_weights.get(k, 0.0) > 0]
+        weights = [kind_weights[k] for k in kinds]
+        if not kinds:
+            raise PlanError("kind_weights has no positive weight")
     faults: List[Fault] = []
     for _ in range(num_faults):
-        machine_id = stream.choice(sorted(machine_ids))
+        machine_id = stream.choice(machines)
         at = stream.uniform(0.0, horizon_s)
-        faults.append(MachineCrash(at=at, machine_id=machine_id,
-                                   restart_after=restart_after))
+        if kind_weights is None:
+            kind = "crash"
+        else:
+            kind = stream.choices(kinds, weights=weights)[0]
+        if kind == "crash":
+            faults.append(MachineCrash(at=at, machine_id=machine_id,
+                                       restart_after=restart_after))
+        elif kind == "disk":
+            faults.append(DiskFault(at=at, machine_id=machine_id,
+                                    disk_index=stream.randrange(num_disks)))
+        elif kind == "slowdown":
+            faults.append(TransientSlowdown(
+                at=at, machine_id=machine_id,
+                duration=stream.uniform(horizon_s / 20, horizon_s / 4),
+                cpu_factor=stream.uniform(1.5, 4.0),
+                disk_factor=stream.uniform(1.5, 4.0)))
+        elif kind == "degradation":
+            faults.append(NetworkDegradation(
+                at=at, machine_id=machine_id,
+                up_factor=stream.uniform(2.0, 10.0),
+                down_factor=stream.uniform(2.0, 10.0),
+                duration=stream.uniform(horizon_s / 10, horizon_s / 2)))
+        else:
+            others = [m for m in machines if m != machine_id]
+            if not others:
+                raise PlanError("partition faults need >= 2 machines")
+            faults.append(LinkPartition(
+                at=at, src_machine_id=machine_id,
+                dst_machine_id=stream.choice(others),
+                heal_after=stream.uniform(horizon_s / 10, horizon_s / 2)))
     return FaultPlan(faults)
+
+
+def fail_slow_plan(machine_id: int = 1, at: float = 5.0,
+                   factor: float = 10.0) -> FaultPlan:
+    """The canonical gray-failure scenario: one machine's NIC drops to
+    ``1/factor`` of nominal speed at ``at`` and never self-heals.
+
+    The machine keeps accepting work, so without health monitoring it
+    silently inflates every shuffle that touches it; with monitoring
+    the slow NIC is attributed and the machine excluded.
+    """
+    return FaultPlan([NetworkDegradation(
+        at=at, machine_id=machine_id,
+        up_factor=factor, down_factor=factor)])

@@ -1,0 +1,33 @@
+"""Online gray-failure detection, attribution, and exclusion.
+
+The paper's thesis is that per-resource monotasks make performance
+*attributable*; this package turns that attribution into a control
+loop.  A :class:`HealthMonitor` ticks alongside a run, estimating each
+machine's per-resource rates from the engine's own telemetry
+(:mod:`repro.health.estimators`), flagging machines that fall behind
+the cluster median, and driving a deterministic exclusion state
+machine (:mod:`repro.health.blacklist`) whose transitions feed back
+into scheduling through the engine's exclusion entry points.
+
+MonoSpark's monitor can say *which resource* on *which machine* is
+sick; the Spark baseline's task-level EWMA cannot -- the same
+observability gap as the paper's §6.6, exercised online.
+"""
+
+from repro.health.blacklist import EXCLUDED, HEALTHY, PROBATION, Blacklist
+from repro.health.estimators import (TASK, MonotaskRateEstimator,
+                                     TaskEwmaEstimator)
+from repro.health.monitor import HealthMonitor
+from repro.health.policy import HealthPolicy
+
+__all__ = [
+    "Blacklist",
+    "EXCLUDED",
+    "HEALTHY",
+    "HealthMonitor",
+    "HealthPolicy",
+    "MonotaskRateEstimator",
+    "PROBATION",
+    "TASK",
+    "TaskEwmaEstimator",
+]

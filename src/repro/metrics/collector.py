@@ -5,10 +5,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.metrics.events import (CPU, DISK, NETWORK, FaultEventRecord,
-                                  JobRecord, MonotaskRecord,
-                                  ResourceUsageRecord, ServeRecord,
-                                  SpeculationRecord, StageRecord,
-                                  TaskAttemptRecord, TaskRecord)
+                                  HealthEventRecord, JobRecord,
+                                  MonotaskRecord, ResourceUsageRecord,
+                                  ServeRecord, SpeculationRecord,
+                                  StageRecord, TaskAttemptRecord,
+                                  TaskRecord, TransferRecord)
 
 __all__ = ["MetricsCollector"]
 
@@ -22,6 +23,8 @@ class MetricsCollector:
         self.tasks: List[TaskRecord] = []
         self.attempts: List[TaskAttemptRecord] = []
         self.faults: List[FaultEventRecord] = []
+        self.health_events: List[HealthEventRecord] = []
+        self.transfers: List[TransferRecord] = []
         self.speculations: List[SpeculationRecord] = []
         self.serves: List[ServeRecord] = []
         self.stages: Dict[Tuple[int, int], StageRecord] = {}
@@ -40,6 +43,14 @@ class MetricsCollector:
     def record_fault(self, record: FaultEventRecord) -> None:
         """Append one injected-fault event."""
         self.faults.append(record)
+
+    def record_health(self, record: HealthEventRecord) -> None:
+        """Append one health-monitor decision."""
+        self.health_events.append(record)
+
+    def record_transfer(self, record: TransferRecord) -> None:
+        """Append one receiver-measured per-source response flow."""
+        self.transfers.append(record)
 
     def record_speculation(self, record: SpeculationRecord) -> None:
         """Append one speculative-launch event."""
@@ -174,6 +185,14 @@ class MetricsCollector:
             totals[record.resource] = (totals.get(record.resource, 0.0)
                                        + record.queue_s)
         return totals
+
+    def health_records(self, kind: Optional[str] = None,
+                       machine_id: Optional[int] = None
+                       ) -> List[HealthEventRecord]:
+        """Health events, optionally filtered by kind and/or machine."""
+        return [h for h in self.health_events
+                if (kind is None or h.kind == kind)
+                and (machine_id is None or h.machine_id == machine_id)]
 
     def retry_count(self, job_id: Optional[int] = None) -> int:
         """Non-speculative attempts beyond each task's first."""

@@ -23,8 +23,10 @@ __all__ = [
     "JobRecord",
     "TaskAttemptRecord",
     "FaultEventRecord",
+    "HealthEventRecord",
     "SpeculationRecord",
     "ServeRecord",
+    "TransferRecord",
     "CPU",
     "DISK",
     "NETWORK",
@@ -157,6 +159,54 @@ class FaultEventRecord:
     kind: str  # machine-crash | machine-restart | disk-failure | slowdown...
     machine_id: int
     at: float
+    detail: str = ""
+
+
+@dataclass
+class TransferRecord:
+    """One per-source-machine shuffle/DFS response flow, measured at the
+    receiver.
+
+    MonoSpark's network monotask issues one request per remote machine
+    and can time each response separately -- so unlike the whole-fetch
+    :class:`MonotaskRecord`, a transfer is attributable to a specific
+    *source* NIC.  This is what lets the health monitor pin a slow
+    uplink on the machine that owns it instead of on every reducer that
+    happens to fetch from it.  The Spark engine does not emit these:
+    its fetch metrics are aggregated per task (§6.6).
+    """
+
+    src_machine_id: int
+    dst_machine_id: int
+    nbytes: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Response seconds (request latency + bandwidth time)."""
+        return self.end - self.start
+
+
+@dataclass
+class HealthEventRecord:
+    """One health-monitor decision about a machine.
+
+    ``kind`` is ``"suspect"`` (a resource's observed rate fell below
+    the cluster median by the policy's slow factor), ``"exclude"``,
+    ``"probation"``, ``"reinstate"``, ``"heartbeat-miss"``, or
+    ``"heartbeat-restore"``.  ``resource`` names what the monitor
+    blamed: ``cpu``/``disk``/``network`` on MonoSpark (per-resource
+    monotask rates), or ``"task"`` on Spark, whose task-level EWMA
+    cannot attribute slowness to a resource (§6.6's contrast, online).
+    """
+
+    kind: str
+    machine_id: int
+    at: float
+    resource: str = ""
+    #: Observed rate relative to the cluster median (1.0 = typical).
+    relative_rate: float = float("nan")
     detail: str = ""
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.cluster.machine import Machine
 from repro.config import DiskSpec
 
-__all__ = ["multitask_concurrency"]
+__all__ = ["multitask_concurrency", "probe_concurrency"]
 
 
 def multitask_concurrency(machine: Machine, network_limit: int,
@@ -27,3 +27,14 @@ def multitask_concurrency(machine: Machine, network_limit: int,
     """
     disk_slots = sum(disk_concurrency(disk.spec) for disk in machine.disks)
     return machine.spec.cores + disk_slots + network_limit + extra
+
+
+def probe_concurrency(machine: Machine) -> int:
+    """Multitasks to assign a machine on health probation.
+
+    One at a time: a single multitask still exercises every resource
+    (its monotasks touch CPU, disk, and network in turn), which is all
+    the health monitor needs to re-measure rates -- without staking real
+    throughput on a machine that was just excluded.
+    """
+    return 1

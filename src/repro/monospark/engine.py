@@ -36,7 +36,8 @@ from repro.engine.base import BaseEngine
 from repro.engine.semantics import TaskWork
 from repro.errors import ConfigError
 from repro.metrics.collector import MetricsCollector
-from repro.monospark.assignment import multitask_concurrency
+from repro.monospark.assignment import (multitask_concurrency,
+                                        probe_concurrency)
 from repro.monospark.decompose import decompose
 from repro.monospark.worker import MonoWorker
 
@@ -131,3 +132,14 @@ class MonoSparkEngine(BaseEngine):
 
     def _revive_worker(self, machine_id: int) -> None:
         self.workers[machine_id].revive()
+
+    # -- health hooks --------------------------------------------------------------
+
+    def probation_slots_for(self, machine: Machine) -> int:
+        return probe_concurrency(machine)
+
+    def health_estimator(self):
+        """Per-resource rates from monotask self-reports: the paper's
+        clarity signal, turned into an online detector."""
+        from repro.health.estimators import MonotaskRateEstimator
+        return MonotaskRateEstimator(self.metrics)

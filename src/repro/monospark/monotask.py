@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
 
 from repro.metrics.events import (CPU, DISK, NETWORK, MonotaskRecord,
-                                  PHASE_SHUFFLE_SERVE)
+                                  PHASE_SHUFFLE_SERVE, TransferRecord)
 from repro.simulator import Environment, Event
 from repro.simulator.network import FLOW_LATENCY_S
 
@@ -198,9 +198,18 @@ class NetworkFetchMonotask(Monotask):
         if reads:
             yield self.env.all_of(reads)
         total = sum(source.nbytes for source in sources)
+        transfer_start = self.env.now
         yield self.worker.machine.network.transfer(
             machine_id, local_id, total,
             label=sources[0].label)
+        if machine_id != local_id and total > 0:
+            # The receiver timed this machine's response flow, so the
+            # observation is attributable to a specific source NIC --
+            # per-resource clarity at sub-monotask grain, which is what
+            # lets health monitoring localize a slow uplink.
+            self.worker.engine.metrics.record_transfer(TransferRecord(
+                src_machine_id=machine_id, dst_machine_id=local_id,
+                nbytes=total, start=transfer_start, end=self.env.now))
 
     def record(self) -> None:
         """Report the total bytes this fetch group received."""

@@ -6,7 +6,8 @@ paper's §6 model earns its keep outside of offline what-if analysis:
 
 * On MonoSpark, the estimator keeps the last completed instance's
   monotask profiles and asks :func:`repro.model.predict` what the job
-  would cost *on the machines currently alive* -- so after a crash the
+  would cost *on the machines currently schedulable* -- so after a
+  crash, or after the health monitor excludes a fail-slow machine, the
   admission controller immediately prices jobs on the shrunken cluster.
 * On Spark there are no monotask records (§6.6), so the estimator can
   only smooth previously measured runtimes, and it cannot correct for
@@ -71,13 +72,15 @@ class CostEstimator:
         if measured is None:
             return None
         profiles = self._profiles.get(template)
-        live = self.engine.live_machine_count
-        if profiles is None or live == self.hardware.num_machines:
+        usable = self.engine.schedulable_machine_count
+        if profiles is None or usable == self.hardware.num_machines \
+                or usable == 0:
             return measured
-        # The model re-prices the job on the machines still alive --
+        # The model re-prices the job on the machines it can actually be
+        # placed on -- alive and not excluded by the health monitor --
         # only possible because monotask profiles separate the job's
         # resource demand from the hardware it ran on.
-        degraded = WhatIf(hardware=self.hardware.scaled(machines=live))
+        degraded = WhatIf(hardware=self.hardware.scaled(machines=usable))
         return predict(profiles, measured, self.hardware,
                        degraded).predicted_s
 

@@ -98,7 +98,7 @@ class JobServer:
                  admission: Optional[AdmissionController] = None,
                  policy: Union[str, JobScheduler] = "weighted_fair",
                  max_concurrent_jobs: Optional[int] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, health=None) -> None:
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ConfigError(
                 f"max_concurrent_jobs must be >= 1: {max_concurrent_jobs}")
@@ -113,6 +113,10 @@ class JobServer:
         self.rng = RngStreams(seed)
         self.tenants: Dict[str, Tenant] = {}
         self.estimator = CostEstimator(ctx.engine)
+        #: Optional :class:`repro.health.HealthMonitor`: started when the
+        #: server starts, stopped when the last job drains, so gray
+        #: failures arising mid-stream are detected and excluded online.
+        self.health = health
         self._queue: List[JobRequest] = []
         self._running: Dict[int, JobRequest] = {}
         self._workloads: List[tuple] = []
@@ -204,7 +208,11 @@ class JobServer:
         for tenant, template, arrivals, index in self._workloads:
             self.env.process(self._source(tenant, template, arrivals, index))
         self.env.process(self._dispatcher())
+        if self.health is not None:
+            self.health.start()
         self.env.run(until=self._all_done)
+        if self.health is not None:
+            self.health.stop()
         return ServeReport.from_metrics(
             self.metrics, engine_name=self.engine.name,
             tenants=sorted(self.tenants),

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.events import ServeRecord
+from repro.metrics.events import HealthEventRecord, ServeRecord
 from repro.metrics.report import format_table
 from repro.metrics.utilization import percentile
 
@@ -114,6 +114,8 @@ class ServeReport:
     queue_attribution: Dict[str, Dict[str, float]] = field(
         default_factory=dict)
     records: List[ServeRecord] = field(default_factory=list)
+    #: Health-monitor decisions made during the run, in time order.
+    health_events: List[HealthEventRecord] = field(default_factory=list)
 
     @classmethod
     def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
@@ -121,7 +123,8 @@ class ServeReport:
                      duration_s: float) -> "ServeReport":
         """Build the report for ``tenants`` from recorded serve events."""
         report = cls(engine_name=engine_name, duration_s=duration_s,
-                     records=list(metrics.serves))
+                     records=list(metrics.serves),
+                     health_events=list(metrics.health_events))
         attributable = False
         for tenant in tenants:
             records = metrics.serve_records(tenant=tenant)
@@ -187,4 +190,48 @@ class ServeReport:
             lines.append("Queueing attribution: unavailable (no monotask "
                          "records; Spark cannot say which resource "
                          "queued)")
+        if self.health_events:
+            timeline_rows = [
+                [f"{h.at:.1f}", f"m{h.machine_id}", h.kind,
+                 h.resource or "-", _cell(None if h.relative_rate
+                                          != h.relative_rate
+                                          else h.relative_rate),
+                 h.detail or "-"]
+                for h in self.health_events]
+            lines.append(format_table(
+                ["t (s)", "machine", "event", "resource", "rel rate",
+                 "detail"],
+                timeline_rows, title="Exclusion timeline (health monitor)"))
+            lines.append(self._attribution_section())
         return "\n\n".join(lines)
+
+    def _attribution_section(self) -> str:
+        """What the monitor blamed each suspect machine's slowness on.
+
+        MonoSpark blames a resource (cpu/disk/network) because its
+        estimator sees per-resource monotask rates; the Spark baseline's
+        task-level EWMA can only say ``task`` -- it knows *that* a
+        machine is slow, never *why* (§6.6, online).
+        """
+        worst: Dict[int, HealthEventRecord] = {}
+        for event in self.health_events:
+            if event.kind not in ("suspect", "exclude") or not event.resource:
+                continue
+            seen = worst.get(event.machine_id)
+            if seen is None or event.relative_rate < seen.relative_rate:
+                worst[event.machine_id] = event
+        if not worst:
+            return ("Fail-slow attribution: no suspects (no machine fell "
+                    "below the cluster-typical rate)")
+        rows = [[f"m{machine_id}", worst[machine_id].resource,
+                 _cell(worst[machine_id].relative_rate)]
+                for machine_id in sorted(worst)]
+        section = format_table(
+            ["machine", "blamed resource", "worst rel rate"],
+            rows, title="Fail-slow attribution")
+        if all(event.resource == "task" for event in worst.values()):
+            section += ("\nresource \"task\" = blended task rate only: "
+                        "this engine has no per-resource telemetry, so "
+                        "slowness cannot be attributed to cpu, disk, or "
+                        "network")
+        return section

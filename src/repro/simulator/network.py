@@ -14,9 +14,10 @@ sender or to the same receiver (§3.3).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
-from repro.errors import Interrupted, MachineFailure, SimulationError
+from repro.errors import (Interrupted, LinkPartitionError, MachineFailure,
+                          SimulationError)
 from repro.simulator.core import Environment, Event, Process
 from repro.simulator.resources import BusyTracker
 
@@ -58,6 +59,11 @@ class Network:
         self._waiter: Optional[Process] = None
         self._wake_at: float = float("inf")
         self._machine_up: Dict[int, bool] = {}
+        #: Gray-failure state: multiplicative NIC speed factors (1.0 =
+        #: healthy, 0.1 = 10% speed) and directed src->dst partitions.
+        self._up_factor: Dict[int, float] = {}
+        self._down_factor: Dict[int, float] = {}
+        self._partitions: Set[Tuple[int, int]] = set()
         self.bytes_transferred = 0.0
         #: (completion time, bytes, dst, src) per flow -- machine-level
         #: observation used by the Spark-based models (§6.6).
@@ -77,6 +83,8 @@ class Network:
         self._up_bps[machine_id] = up_bps
         self._down_bps[machine_id] = down_bps
         self._machine_up[machine_id] = True
+        self._up_factor[machine_id] = 1.0
+        self._down_factor[machine_id] = 1.0
         self.rx_trackers[machine_id] = BusyTracker(
             self.env, 1, f"net-rx-{machine_id}")
         self.tx_trackers[machine_id] = BusyTracker(
@@ -104,6 +112,10 @@ class Network:
         if not (self._machine_up[src] and self._machine_up[dst]):
             flow.done.fail(MachineFailure(
                 f"flow {src}->{dst}: endpoint is down"))
+            return flow.done
+        if src != dst and (src, dst) in self._partitions:
+            flow.done.fail(LinkPartitionError(
+                f"flow {src}->{dst}: link partitioned"))
             return flow.done
         self.bytes_transferred += flow.nbytes
         if nbytes <= 0 or src == dst:
@@ -153,7 +165,7 @@ class Network:
             if entry is None:
                 by_link[up] = [flow]
                 count[up] = 1
-                cap[up] = self._up_bps[flow.src]
+                cap[up] = self._up_bps[flow.src] * self._up_factor[flow.src]
             else:
                 entry.append(flow)
                 count[up] += 1
@@ -161,7 +173,8 @@ class Network:
             if entry is None:
                 by_link[down] = [flow]
                 count[down] = 1
-                cap[down] = self._down_bps[flow.dst]
+                cap[down] = (self._down_bps[flow.dst]
+                             * self._down_factor[flow.dst])
             else:
                 entry.append(flow)
                 count[down] += 1
@@ -300,6 +313,59 @@ class Network:
             flow.done.fail(MachineFailure(
                 f"flow {flow.src}->{flow.dst}: machine {machine_id} failed"))
         return len(dead)
+
+    def degrade_link(self, machine_id: int, up_factor: float = 1.0,
+                     down_factor: float = 1.0) -> None:
+        """Scale a machine's NIC to a fraction of nominal speed.
+
+        Factors are relative speeds in (0, 1]; 1.0 restores full speed.
+        In-flight flows are re-balanced at the new capacities.
+        """
+        if machine_id not in self._machine_up:
+            raise SimulationError(f"unregistered machine {machine_id}")
+        if not (0.0 < up_factor <= 1.0) or not (0.0 < down_factor <= 1.0):
+            raise SimulationError(
+                f"link factors must be in (0, 1]: {up_factor}, {down_factor}")
+        self._up_factor[machine_id] = up_factor
+        self._down_factor[machine_id] = down_factor
+        if self._flows:
+            self._rebalance()
+
+    def restore_link(self, machine_id: int) -> None:
+        """Return a degraded NIC to full speed."""
+        self.degrade_link(machine_id, up_factor=1.0, down_factor=1.0)
+
+    def partition_link(self, src: int, dst: int) -> int:
+        """Block the directed path ``src -> dst``.
+
+        In-flight flows on the path fail with
+        :class:`~repro.errors.LinkPartitionError` and new transfers fail
+        fast, so callers back off and retry instead of hanging.  Returns
+        the number of flows killed.
+        """
+        for machine_id in (src, dst):
+            if machine_id not in self._machine_up:
+                raise SimulationError(f"unregistered machine {machine_id}")
+        self._partitions.add((src, dst))
+        self._bank_progress()
+        dead = [f for f in self._flows if f.src == src and f.dst == dst]
+        for flow in dead:
+            self._flows.remove(flow)
+        self._compute_rates()
+        self._update_trackers()
+        self._arm()
+        for flow in dead:
+            flow.done.fail(LinkPartitionError(
+                f"flow {flow.src}->{flow.dst}: link partitioned"))
+        return len(dead)
+
+    def heal_link(self, src: int, dst: int) -> None:
+        """Remove a partition; subsequent transfers flow normally."""
+        self._partitions.discard((src, dst))
+
+    def is_partitioned(self, src: int, dst: int) -> bool:
+        """Whether the directed path ``src -> dst`` is blocked."""
+        return (src, dst) in self._partitions
 
     # -- introspection for the performance model -------------------------------
 

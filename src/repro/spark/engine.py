@@ -65,3 +65,10 @@ class SparkEngine(BaseEngine):
     def run_task_on_machine(self, work: TaskWork,
                             machine: Machine) -> Generator:
         return (yield from SparkTaskRun(self, work, machine).run())
+
+    def health_estimator(self):
+        """Task-level EWMA: the best a framework whose tasks blend
+        resources can do (§6.6) -- it sees slowness but cannot say
+        which machine's which resource caused it."""
+        from repro.health.estimators import TaskEwmaEstimator
+        return TaskEwmaEstimator(self.metrics)

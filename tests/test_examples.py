@@ -42,6 +42,13 @@ class TestExamples:
         assert "machine-crash" in out
         assert "lineage" in out
 
+    def test_gray_failure(self, capsys):
+        out = run_example("gray_failure", capsys)
+        assert "exclude" in out
+        assert "network" in out
+        assert "excluded at end: [1]" in out
+        assert "cannot find the sick machine" in out
+
     def test_serving(self, capsys):
         out = run_example("serving", capsys)
         assert "SLO report (spark" in out
