@@ -1,0 +1,128 @@
+"""Validate a Chrome Trace Event Format JSON file (stdlib only).
+
+Checks the subset of the Trace Event Format spec our exporter emits:
+JSON object form with a ``traceEvents`` array, known phase codes,
+required keys per phase, numeric non-negative timestamps/durations,
+paired flow (``s``/``f``) and async (``b``/``e``) events, and metadata
+events carrying the args the spec requires.  Used by the CI trace-smoke
+job; also handy on any trace before loading it into Perfetto.
+
+Usage:  python scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import numbers
+import sys
+
+#: Phases our exporter emits; anything else is an error.
+KNOWN_PHASES = {"X", "M", "s", "f", "b", "e"}
+
+#: Keys every event must carry, beyond phase-specific ones.
+COMMON_KEYS = {"name", "ph", "pid"}
+
+METADATA_ARGS = {
+    "process_name": "name",
+    "thread_name": "name",
+    "thread_sort_index": "sort_index",
+}
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def validate_events(events):
+    """Yield error strings for one traceEvents array."""
+    if not isinstance(events, list):
+        yield "traceEvents is not an array"
+        return
+    if not events:
+        yield "traceEvents is empty"
+    flow = {"s": {}, "f": {}}
+    nestable = {"b": [], "e": []}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            yield f"{where}: not an object"
+            continue
+        missing = COMMON_KEYS - set(event)
+        if missing:
+            yield f"{where}: missing keys {sorted(missing)}"
+            continue
+        ph = event["ph"]
+        if ph not in KNOWN_PHASES:
+            yield f"{where}: unknown phase {ph!r}"
+            continue
+        if ph != "M":
+            ts = event.get("ts")
+            if not _is_number(ts) or ts < 0:
+                yield f"{where}: bad ts {ts!r}"
+        if ph == "X":
+            dur = event.get("dur")
+            if not _is_number(dur) or dur < 0:
+                yield f"{where}: bad dur {dur!r}"
+        elif ph == "M":
+            name = event["name"]
+            wanted = METADATA_ARGS.get(name)
+            if wanted is None:
+                yield f"{where}: unknown metadata record {name!r}"
+            elif wanted not in event.get("args", {}):
+                yield f"{where}: metadata {name!r} lacks args.{wanted}"
+        elif ph in ("s", "f"):
+            if "id" not in event:
+                yield f"{where}: flow event without id"
+            else:
+                flow[ph].setdefault(event["id"], []).append(index)
+            if ph == "f" and event.get("bp") not in (None, "e"):
+                yield f"{where}: bad binding point {event['bp']!r}"
+        elif ph in ("b", "e"):
+            if "id" not in event:
+                yield f"{where}: async event without id"
+            else:
+                nestable[ph].append((event.get("cat"), event["id"]))
+    for fid in flow["s"]:
+        if fid not in flow["f"]:
+            yield f"flow id {fid!r} starts but never finishes"
+    for fid in flow["f"]:
+        if fid not in flow["s"]:
+            yield f"flow id {fid!r} finishes but never starts"
+    begins, ends = sorted(nestable["b"]), sorted(nestable["e"])
+    if begins != ends:
+        yield (f"async begin/end mismatch: {len(begins)} begins vs "
+               f"{len(ends)} ends")
+
+
+def validate_file(path):
+    """Validate one trace file; returns a list of error strings."""
+    try:
+        with open(path) as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot load {path}: {error}"]
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["not the JSON-object trace form (no traceEvents key)"]
+    return list(validate_events(trace["traceEvents"]))
+
+
+def main(argv):
+    if not argv:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            with open(path) as handle:
+                count = len(json.load(handle)["traceEvents"])
+            print(f"ok   {path} ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

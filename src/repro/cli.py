@@ -103,11 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpu-factor", type=float, default=1.0)
 
     p = sub.add_parser("trace",
-                       help="run a job and export a chrome://tracing JSON")
+                       help="run a job and export / analyze its trace")
+    p.add_argument("action", nargs="?", default="export",
+                   choices=["export", "critical-path", "span-stats"],
+                   help="export a chrome://tracing JSON (default), "
+                        "attribute the job's critical path, or print "
+                        "span/link statistics")
     common(p, default_machines=4)
     p.add_argument("--output", default="trace.json")
     p.add_argument("--timeline", action="store_true",
                    help="also print the ASCII timeline")
+    p.add_argument("--spans-jsonl", default=None,
+                   help="also stream spans/links to this JSONL file")
+    p.add_argument("--workload", default="wordcount",
+                   choices=["wordcount", "sort"],
+                   help="wordcount (map-only-ish) or sort (shuffle-"
+                        "heavy; shows disk/network on the path)")
 
     p = sub.add_parser("faults",
                        help="crash a machine mid-sort, watch recovery")
@@ -285,16 +296,51 @@ def _cmd_diagnose(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from repro.trace import JsonlSpanSink, critical_path
+
     cluster = _make_cluster(args)
-    generate_text_input(cluster, num_blocks=args.machines * 4,
-                        block_bytes=64 * MB, seed=args.seed)
     ctx = AnalyticsContext(cluster, engine=args.engine)
-    word_count(ctx)
+    sink = None
+    if args.spans_jsonl:
+        sink = JsonlSpanSink(args.spans_jsonl)
+        ctx.metrics.add_span_sink(sink)
+    if args.workload == "sort":
+        workload = SortWorkload(total_bytes=600 * GB * args.fraction,
+                                values_per_key=25,
+                                num_map_tasks=args.machines * 8)
+        generate_sort_input(cluster, workload, seed=args.seed)
+        run_sort(ctx, workload)
+    else:
+        generate_text_input(cluster, num_blocks=args.machines * 4,
+                            block_bytes=64 * MB, seed=args.seed)
+        word_count(ctx)
+    job_id = ctx.last_result.job_id
+    if sink is not None:
+        sink.close()
+        print(f"wrote {sink.spans_written} spans and {sink.links_written} "
+              f"links to {args.spans_jsonl}")
     if args.engine == "monospark" and args.timeline:
-        print(render_timeline(ctx.metrics, ctx.last_result.job_id))
-    count = write_chrome_trace(ctx.metrics, args.output,
-                               job_id=ctx.last_result.job_id)
-    print(f"wrote {count} events to {args.output} "
+        print(render_timeline(ctx.metrics, job_id))
+    if args.action == "critical-path":
+        print(critical_path(ctx.metrics, job_id, engine=args.engine).format())
+        return 0
+    if args.action == "span-stats":
+        spans = ctx.metrics.spans_for_job(job_id)
+        links = ctx.metrics.links_for_job(job_id)
+        by_kind: dict = {}
+        for span in spans:
+            by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+        print(f"job {job_id}: {len(spans)} spans, {len(links)} links")
+        for kind in sorted(by_kind):
+            print(f"  {kind:<10} {by_kind[kind]}")
+        link_kinds: dict = {}
+        for link in links:
+            link_kinds[link.kind] = link_kinds.get(link.kind, 0) + 1
+        for kind in sorted(link_kinds):
+            print(f"  link:{kind:<10} {link_kinds[kind]}")
+        return 0
+    result = write_chrome_trace(ctx.metrics, args.output, job_id=job_id)
+    print(f"wrote {result.events} events to {result.path} "
           f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 

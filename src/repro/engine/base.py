@@ -18,6 +18,7 @@ and no injected faults, execution is identical to a recovery-free run.
 
 from __future__ import annotations
 
+import inspect
 from collections import deque
 from typing import (Any, Callable, Deque, Dict, FrozenSet, Generator,
                     Iterator, List, Optional, Set, Tuple)
@@ -40,6 +41,8 @@ from repro.faults.policy import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import SpeculationRecord, TaskAttemptRecord
 from repro.simulator import Environment, Event, Process
+from repro.trace.spans import TraceContext
+from repro.trace.telemetry import TelemetryRegistry
 
 __all__ = ["JobResult", "TaskPool", "BaseEngine"]
 
@@ -77,11 +80,12 @@ class _Attempt:
     """One try at running a task on one machine."""
 
     __slots__ = ("state", "number", "speculative", "avoid", "process",
-                 "machine_id", "started_at")
+                 "machine_id", "started_at", "trace", "cause")
 
     def __init__(self, state: "_TaskState", number: int,
                  speculative: bool = False,
-                 avoid: FrozenSet[int] = frozenset()) -> None:
+                 avoid: FrozenSet[int] = frozenset(),
+                 cause: str = "") -> None:
         self.state = state
         self.number = number
         self.speculative = speculative
@@ -91,6 +95,11 @@ class _Attempt:
         self.process: Optional[Process] = None
         self.machine_id: Optional[int] = None
         self.started_at: float = 0.0
+        #: Span context opened at dispatch; monotasks parent under it.
+        self.trace: Optional[TraceContext] = None
+        #: Why this attempt exists ("" for a task's first attempt;
+        #: "straggler" / "health-redispatch" for speculative copies).
+        self.cause = cause
 
 
 class _TaskState:
@@ -148,6 +157,14 @@ class TaskPool:
         self.env = env
         self.machines = {m.machine_id: m for m in machines}
         self.run_task = run_task
+        # Engines take a `trace` kwarg so monotasks can parent under the
+        # attempt's span; plain 2-arg callables (tests, ad-hoc pools)
+        # keep working without it.
+        try:
+            self._run_task_takes_trace = (
+                "trace" in inspect.signature(run_task).parameters)
+        except (TypeError, ValueError):
+            self._run_task_takes_trace = False
         #: "fifo" serves pending tasks in submission order; "fair"
         #: round-robins across jobs (the §8 "share machines between
         #: different users" policy).
@@ -265,11 +282,11 @@ class TaskPool:
             attempt = next(iter(state.active.values()))
             if attempt.machine_id != machine_id:
                 continue
-            if self.speculate(task_id):
+            if self.speculate(task_id, cause="health-redispatch"):
                 launched += 1
         return launched
 
-    def speculate(self, task_id: str) -> bool:
+    def speculate(self, task_id: str, cause: str = "straggler") -> bool:
         """Launch a duplicate attempt of a straggling task.
 
         Refused (returns False) unless the task has exactly one running
@@ -289,7 +306,8 @@ class TaskPool:
             return False
         state.speculated = True
         attempt = _Attempt(state, state.next_attempt, speculative=True,
-                           avoid=frozenset({original.machine_id}))
+                           avoid=frozenset({original.machine_id}),
+                           cause=cause)
         state.next_attempt += 1
         self.pending.append(attempt)
         if self.metrics is not None:
@@ -385,6 +403,12 @@ class TaskPool:
             self.free_slots[machine_id] -= 1
             attempt.machine_id = machine_id
             attempt.started_at = self.env.now
+            if self.metrics is not None:
+                descriptor = state.descriptor
+                attempt.trace = self.metrics.attempt_started(
+                    descriptor.job_id, descriptor.stage_id, descriptor.index,
+                    attempt.number, machine_id, self.env.now,
+                    speculative=attempt.speculative, cause=attempt.cause)
             state.active[attempt.number] = attempt
             attempt.process = self.env.process(
                 self._run(attempt, self.machines[machine_id]))
@@ -402,7 +426,11 @@ class TaskPool:
             # Run the task body *inline* (not as a child process) so an
             # interrupt lands in the frame doing the work and unwinds
             # its finally blocks before any commit can happen.
-            yield from self.run_task(state.descriptor, machine)
+            if self._run_task_takes_trace:
+                yield from self.run_task(state.descriptor, machine,
+                                         trace=attempt.trace)
+            else:
+                yield from self.run_task(state.descriptor, machine)
         except FetchFailed as exc:
             outcome, error = "fetch-failed", exc
         except Interrupted as exc:
@@ -447,6 +475,9 @@ class TaskPool:
             if attempt.machine_id is not None else -1,
             start=attempt.started_at, end=self.env.now, outcome=outcome,
             speculative=attempt.speculative, detail=detail))
+        if attempt.trace is not None:
+            self.metrics.attempt_finished(attempt.trace, self.env.now,
+                                          outcome, detail)
 
     def _handle_failure(self, state: _TaskState, attempt: _Attempt,
                         outcome: str,
@@ -569,6 +600,42 @@ class BaseEngine:
         per-resource monotask records; Spark can only estimate a blended
         task-level rate (§6.6's observability contrast, online)."""
         raise NotImplementedError
+
+    def register_telemetry(self, telemetry: TelemetryRegistry) -> None:
+        """Register the engine's live gauges into ``telemetry``.
+
+        The base set reads scheduler and simulator state directly:
+        pending task backlog, per-machine busy slots, health-excluded
+        machine count, outstanding network flows, and per-machine
+        buffer-cache dirty bytes.  Subclasses extend (MonoSpark adds
+        per-resource queue depths -- per-resource queues only exist
+        there).
+        """
+        telemetry.gauge(
+            "repro_pending_tasks",
+            "Task attempts waiting for a free execution slot",
+            lambda: len(self.pool.pending), engine=self.name)
+        telemetry.gauge(
+            "repro_excluded_machines",
+            "Machines excluded (or on probation) by health monitoring",
+            lambda: len(self._excluded_machines), engine=self.name)
+        telemetry.gauge(
+            "repro_network_flows",
+            "Outstanding network flows cluster-wide",
+            lambda: self.cluster.network.active_flows, engine=self.name)
+        for machine in self.cluster.machines:
+            machine_id = machine.machine_id
+            telemetry.gauge(
+                "repro_busy_task_slots",
+                "Execution slots currently running a task attempt",
+                lambda m=machine_id: (self.pool._concurrency[m]
+                                      - self.pool.free_slots[m]),
+                engine=self.name, machine=machine_id)
+            telemetry.gauge(
+                "repro_buffer_cache_dirty_bytes",
+                "Buffer-cache bytes not yet flushed to disk",
+                lambda c=machine.cache: c.dirty_bytes,
+                engine=self.name, machine=machine_id)
 
     # -- public API ---------------------------------------------------------------
 
@@ -795,7 +862,8 @@ class BaseEngine:
             yield self.env.all_of(
                 [stage_done[parent] for parent in stage.parent_stage_ids])
         self.metrics.stage_started(plan.job_id, stage.stage_id, stage.name,
-                                   stage.num_tasks, self.env.now)
+                                   stage.num_tasks, self.env.now,
+                                   parent_stage_ids=stage.parent_stage_ids)
         task_events = [self.pool.submit(task) for task in stage.tasks]
         if task_events:
             barrier = self.env.all_of(task_events)
@@ -836,10 +904,11 @@ class BaseEngine:
 
     # -- task execution wrapper -----------------------------------------------------
 
-    def _execute_task(self, descriptor: TaskDescriptor,
-                      machine: Machine) -> Generator:
+    def _execute_task(self, descriptor: TaskDescriptor, machine: Machine,
+                      trace: Optional[TraceContext] = None) -> Generator:
         inputs = self._resolve_inputs(descriptor, machine)
         work = compute_task_work(descriptor, inputs, self.cost)
+        work.trace = trace
         record = self.metrics.task_started(
             descriptor.job_id, descriptor.stage_id, descriptor.index,
             machine.machine_id, self.env.now)

@@ -71,6 +71,9 @@ class TaskWork:
     shuffle_buckets: Optional[Dict[int, Partition]] = None
     #: Partition snapshot to cache, if the descriptor asks for one.
     cache_partition: Optional[Partition] = None
+    #: Attempt span context ("repro.trace.spans.TraceContext"); set by
+    #: the engine so monotasks can parent their leaf spans under it.
+    trace: Optional[Any] = None
 
     @property
     def total_cpu_s(self) -> float:

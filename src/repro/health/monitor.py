@@ -33,7 +33,7 @@ class HealthMonitor:
     """Online per-machine health tracking and exclusion for one engine."""
 
     def __init__(self, engine, policy: Optional[HealthPolicy] = None,
-                 estimator=None) -> None:
+                 estimator=None, telemetry=None) -> None:
         self.engine = engine
         self.env = engine.env
         self.metrics = engine.metrics
@@ -47,6 +47,22 @@ class HealthMonitor:
         self._missed: set = set()
         self._stopped = False
         self._started = False
+        #: Optional :class:`repro.trace.TelemetryRegistry`: the monitor
+        #: registers its own gauges and samples the whole registry at
+        #: every tick, so the time series it bases decisions on (queue
+        #: depths, exclusions) is recorded on the same cadence as the
+        #: decisions themselves.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.gauge(
+                "repro_health_excluded_machines",
+                "Machines the health monitor holds excluded or on "
+                "probation",
+                self.blacklist.excluded_count, engine=engine.name)
+            telemetry.gauge(
+                "repro_health_heartbeat_misses",
+                "Machines currently missing heartbeats (crashed)",
+                lambda: len(self._missed), engine=engine.name)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -72,6 +88,8 @@ class HealthMonitor:
             yield self.env.timeout(interval)
             if self._stopped:
                 return
+            if self.telemetry is not None:
+                self.telemetry.sample(self.env.now)
             self._tick()
 
     # -- one tick ------------------------------------------------------------------

@@ -3,7 +3,17 @@
 Writes the Trace Event Format JSON consumed by ``chrome://tracing`` and
 https://ui.perfetto.dev: one process per machine, one track per resource
 unit, one complete event per monotask (Spark-engine runs export their
-per-task windows instead, which is all that engine can know).
+per-task windows instead, which is all that engine can know).  On top of
+the slices, the export carries the causal structure:
+
+* *flow events* (``ph: s/f``) arc from each shuffle producer's network
+  track to the consumer that fetched from it, one arrow per recorded
+  :class:`~repro.metrics.events.TransferRecord`;
+* *async events* (``ph: b/e``) under a synthetic ``driver`` process
+  show each job and stage as a nestable span, so the driver-side
+  structure frames the per-machine work;
+* *metadata events* (``ph: M``) name processes and order tracks CPU,
+  disks, network, tasks -- top to bottom, the paper's resource order.
 
 This is the "open-source release" face of performance clarity: the
 records the framework already holds are a full execution trace.
@@ -12,22 +22,49 @@ records the framework already holds are a full execution trace.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import os
+import tempfile
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import ModelError
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import CPU, DISK, NETWORK
 
-__all__ = ["trace_events", "write_chrome_trace"]
+__all__ = ["trace_events", "write_chrome_trace", "WriteResult",
+           "DRIVER_PID"]
 
 #: Sort keys so tracks render CPU, then disks, then network.
 _TRACK_ORDER = {CPU: 0, DISK: 1, NETWORK: 2}
+
+#: Synthetic pid for driver-side (job/stage) async spans; real machines
+#: use their non-negative machine ids.
+DRIVER_PID = 9999
+
+
+class WriteResult(NamedTuple):
+    """Where the trace landed and how many events it holds."""
+
+    path: str
+    events: int
 
 
 def _track_name(record) -> str:
     if record.resource == DISK:
         return f"disk{record.disk_index}"
     return record.resource
+
+
+def _track_sort_index(track: str) -> int:
+    """Render order of one track: cpu, disk0..N, network, tasks."""
+    if track == CPU:
+        return _TRACK_ORDER[CPU]
+    if track.startswith(DISK):
+        suffix = track[len(DISK):]
+        index = int(suffix) if suffix.isdigit() else 0
+        return 10 * _TRACK_ORDER[DISK] + index
+    if track == NETWORK:
+        return 10 * _TRACK_ORDER[NETWORK]
+    return 100  # tasks (and anything else) below the resources
 
 
 def trace_events(metrics: MetricsCollector,
@@ -38,10 +75,10 @@ def trace_events(metrics: MetricsCollector,
     microseconds, as the format requires.
     """
     events: List[Dict[str, Any]] = []
-    machines = set()
+    tracks: set = set()  # (machine_id, track) pairs seen
 
     def add(machine_id, track, name, start, end, args):
-        machines.add(machine_id)
+        tracks.add((machine_id, track))
         events.append({
             "name": name,
             "cat": track,
@@ -74,20 +111,103 @@ def trace_events(metrics: MetricsCollector,
     if not events:
         raise ModelError(f"nothing to trace for job {job_id}")
 
-    # Per-process metadata so the viewer labels machines nicely.
-    for machine_id in sorted(machines):
+    # Producer -> consumer flow arrows, one per measured response flow.
+    # The start binds to the source machine's network track, the finish
+    # to the destination's, so Perfetto draws the arc between the
+    # serving and fetching slices.
+    for index, transfer in enumerate(metrics.transfers):
+        if job_id is not None and transfer.job_id != job_id:
+            continue
+        flow = {
+            "name": "shuffle-flow", "cat": "flow", "id": index,
+            "args": {"bytes": transfer.nbytes, "job": transfer.job_id},
+        }
+        events.append({**flow, "ph": "s", "pid": transfer.src_machine_id,
+                       "tid": NETWORK,
+                       "ts": round(transfer.start * 1e6, 3)})
+        events.append({**flow, "ph": "f", "bp": "e",
+                       "pid": transfer.dst_machine_id, "tid": NETWORK,
+                       "ts": round(transfer.end * 1e6, 3)})
+        tracks.add((transfer.src_machine_id, NETWORK))
+        tracks.add((transfer.dst_machine_id, NETWORK))
+
+    # Driver-side async spans: jobs and their stages as nestable
+    # begin/end pairs under one synthetic process.
+    driver_used = False
+    for jid in sorted(metrics.jobs):
+        if job_id is not None and jid != job_id:
+            continue
+        job = metrics.jobs[jid]
+        if job.end != job.end:
+            continue
+        driver_used = True
+        common = {"cat": "job", "id": f"job-{jid}", "pid": DRIVER_PID,
+                  "tid": "jobs"}
+        events.append({**common, "name": f"job {jid} ({job.name})",
+                       "ph": "b", "ts": round(job.start * 1e6, 3)})
+        events.append({**common, "name": f"job {jid} ({job.name})",
+                       "ph": "e", "ts": round(job.end * 1e6, 3)})
+    for (jid, stage_id) in sorted(metrics.stages):
+        if job_id is not None and jid != job_id:
+            continue
+        stage = metrics.stages[(jid, stage_id)]
+        if stage.end != stage.end:
+            continue
+        driver_used = True
+        common = {"cat": "stage", "id": f"job-{jid}-stage-{stage_id}",
+                  "pid": DRIVER_PID, "tid": "stages"}
+        name = f"stage {stage_id} ({stage.name})"
+        events.append({**common, "name": name, "ph": "b",
+                       "ts": round(stage.start * 1e6, 3)})
+        events.append({**common, "name": name, "ph": "e",
+                       "ts": round(stage.end * 1e6, 3)})
+
+    # Metadata: name processes, and name + order threads so tracks
+    # render CPU, disks, network, tasks (the dead-_TRACK_ORDER fix).
+    for machine_id in sorted({m for m, _ in tracks}):
         events.append({
             "name": "process_name", "ph": "M", "pid": machine_id,
             "args": {"name": f"machine {machine_id}"},
+        })
+    for machine_id, track in sorted(tracks):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": machine_id,
+            "tid": track, "args": {"name": track},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": machine_id,
+            "tid": track,
+            "args": {"sort_index": _track_sort_index(track)},
+        })
+    if driver_used:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": DRIVER_PID,
+            "args": {"name": "driver"},
         })
     return events
 
 
 def write_chrome_trace(metrics: MetricsCollector, path: str,
-                       job_id: Optional[int] = None) -> int:
-    """Write the trace JSON to ``path``; returns the event count."""
+                       job_id: Optional[int] = None) -> WriteResult:
+    """Write the trace JSON to ``path`` atomically.
+
+    The JSON is staged in a temp file in the destination directory and
+    renamed into place, so a crash mid-export never leaves a truncated
+    file behind.  Returns a :class:`WriteResult` (path, event count).
+    """
     events = trace_events(metrics, job_id=job_id)
-    with open(path, "w") as handle:
-        json.dump({"traceEvents": events,
-                   "displayTimeUnit": "ms"}, handle)
-    return len(events)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".trace-",
+                                    suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump({"traceEvents": events,
+                       "displayTimeUnit": "ms"}, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return WriteResult(path=path, events=len(events))

@@ -1,15 +1,33 @@
-"""Collects the structured records emitted during simulation."""
+"""Collects the structured records and causal spans emitted during
+simulation.
+
+Besides the flat per-record lists, the collector owns the *span tree*
+of every job (:mod:`repro.trace.spans`): it mints span ids, opens and
+closes job/stage/attempt spans, synthesizes monotask leaf spans from
+:class:`MonotaskRecord` self-reports, and records causal links (DAG
+edges, shuffle fetches, queue waits, retries, speculation).  Attached
+sinks (:class:`~repro.trace.sink.JsonlSpanSink`) stream spans out as
+they close, so long serving runs need not hold their trace in memory.
+"""
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import SimulationError
 from repro.metrics.events import (CPU, DISK, NETWORK, FaultEventRecord,
                                   HealthEventRecord, JobRecord,
                                   MonotaskRecord, ResourceUsageRecord,
                                   ServeRecord, SpeculationRecord,
                                   StageRecord, TaskAttemptRecord,
                                   TaskRecord, TransferRecord)
+from repro.trace.spans import (LINK_DAG_EDGE, LINK_QUEUE_WAIT,
+                               LINK_REDISPATCH, LINK_RETRY,
+                               LINK_SHUFFLE_FETCH, LINK_SPECULATION,
+                               SPAN_ATTEMPT, SPAN_JOB, SPAN_MONOTASK,
+                               SPAN_STAGE, SpanLink, SpanRecord,
+                               TraceContext)
 
 __all__ = ["MetricsCollector"]
 
@@ -29,12 +47,99 @@ class MetricsCollector:
         self.serves: List[ServeRecord] = []
         self.stages: Dict[Tuple[int, int], StageRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
+        #: Every span ever opened, in open order (leaves are appended
+        #: closed; container spans close in place).
+        self.spans: List[SpanRecord] = []
+        #: Causal links between spans, in record order.
+        self.links: List[SpanLink] = []
+        self._span_ids = count(1)
+        self._open_spans: Dict[int, SpanRecord] = {}
+        self._job_spans: Dict[int, SpanRecord] = {}
+        self._stage_spans: Dict[Tuple[int, int], SpanRecord] = {}
+        #: (job, stage, task_index) -> most recent attempt span, for
+        #: retry/speculation links between consecutive attempts.
+        self._last_attempt_spans: Dict[Tuple[int, int, int], SpanRecord] = {}
+        self._sinks: List = []
+
+    # -- span plumbing -------------------------------------------------------------
+
+    def new_span_id(self) -> int:
+        """Mint a fresh span id (monotonic, deterministic)."""
+        return next(self._span_ids)
+
+    def add_span_sink(self, sink) -> None:
+        """Stream closed spans and links to ``sink`` (JSONL et al.)."""
+        self._sinks.append(sink)
+
+    def record_span(self, span: SpanRecord) -> None:
+        """Append a complete (already closed) span."""
+        self.spans.append(span)
+        for sink in self._sinks:
+            sink.span_finished(span)
+
+    def record_link(self, link: SpanLink) -> None:
+        """Append one causal link."""
+        self.links.append(link)
+        for sink in self._sinks:
+            sink.link_recorded(link)
+
+    def _open_span(self, span: SpanRecord) -> SpanRecord:
+        self.spans.append(span)
+        self._open_spans[span.span_id] = span
+        return span
+
+    def _close_span(self, span_id: int, now: float) -> None:
+        span = self._open_spans.pop(span_id, None)
+        if span is None:
+            return
+        span.end = now
+        for sink in self._sinks:
+            sink.span_finished(span)
+
+    def job_trace_id(self, job_id: int) -> str:
+        """The trace id under which a job's spans are recorded."""
+        return f"job-{job_id}"
+
+    def spans_for_job(self, job_id: int) -> List[SpanRecord]:
+        """All spans of one job's trace, in open order."""
+        trace_id = self.job_trace_id(job_id)
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def links_for_job(self, job_id: int) -> List[SpanLink]:
+        """All causal links of one job's trace."""
+        trace_id = self.job_trace_id(job_id)
+        return [l for l in self.links if l.trace_id == trace_id]
 
     # -- recording ----------------------------------------------------------------
 
-    def record_monotask(self, record: MonotaskRecord) -> None:
-        """Append a monotask self-report."""
+    def record_monotask(self, record: MonotaskRecord,
+                        trace: Optional[TraceContext] = None,
+                        span_id: Optional[int] = None) -> None:
+        """Append a monotask self-report.
+
+        With a ``trace`` context the report also becomes a leaf span of
+        the attempt that spawned the monotask, plus a queue-wait link
+        when the monotask waited at its resource scheduler.
+        """
         self.monotasks.append(record)
+        if trace is None:
+            return
+        sid = span_id if span_id is not None else self.new_span_id()
+        span = SpanRecord(
+            span_id=sid, trace_id=trace.trace_id, parent_id=trace.span_id,
+            kind=SPAN_MONOTASK, name=record.phase, start=record.start,
+            end=record.end, machine_id=record.machine_id,
+            resource=record.resource, phase=record.phase,
+            queue_s=record.queue_s, nbytes=record.nbytes)
+        if record.disk_index is not None:
+            span.attrs["disk_index"] = record.disk_index
+        self.record_span(span)
+        if record.queue_s > 0:
+            self.record_link(SpanLink(
+                from_span_id=trace.span_id, to_span_id=sid,
+                kind=LINK_QUEUE_WAIT, trace_id=trace.trace_id,
+                at=record.start,
+                detail=f"{record.resource} queue {record.queue_s:.6f}s"))
 
     def record_task_attempt(self, record: TaskAttemptRecord) -> None:
         """Append one task attempt's outcome."""
@@ -73,22 +178,132 @@ class MetricsCollector:
         return record
 
     def stage_started(self, job_id: int, stage_id: int, name: str,
-                      num_tasks: int, now: float) -> None:
-        """Open a stage record."""
+                      num_tasks: int, now: float,
+                      parent_stage_ids: Optional[Iterable[int]] = None
+                      ) -> TraceContext:
+        """Open a stage record and its span under the job's span.
+
+        ``parent_stage_ids`` records DAG-edge links from each parent
+        stage's span, capturing *why* this stage could not start
+        earlier.
+        """
         self.stages[(job_id, stage_id)] = StageRecord(
             job_id, stage_id, name, num_tasks, start=now)
+        job_span = self._job_spans.get(job_id)
+        trace_id = (job_span.trace_id if job_span is not None
+                    else self.job_trace_id(job_id))
+        parent = job_span.span_id if job_span is not None else None
+        span = self._open_span(SpanRecord(
+            span_id=self.new_span_id(), trace_id=trace_id, parent_id=parent,
+            kind=SPAN_STAGE, name=name, start=now,
+            attrs={"job_id": job_id, "stage_id": stage_id,
+                   "num_tasks": num_tasks}))
+        self._stage_spans[(job_id, stage_id)] = span
+        for parent_stage in sorted(parent_stage_ids or ()):
+            parent_span = self._stage_spans.get((job_id, parent_stage))
+            if parent_span is not None:
+                self.record_link(SpanLink(
+                    from_span_id=parent_span.span_id,
+                    to_span_id=span.span_id, kind=LINK_DAG_EDGE,
+                    trace_id=trace_id, at=now,
+                    detail=f"stage {parent_stage} -> stage {stage_id}"))
+        return TraceContext(trace_id=trace_id, span_id=span.span_id,
+                            parent_id=parent)
 
     def stage_finished(self, job_id: int, stage_id: int, now: float) -> None:
-        """Close a stage record."""
-        self.stages[(job_id, stage_id)].end = now
+        """Close a stage record (and span)."""
+        record = self.stages.get((job_id, stage_id))
+        if record is None:
+            raise SimulationError(
+                f"stage_finished for unknown stage {stage_id} of job "
+                f"{job_id}; known stages: {sorted(self.stages)}")
+        record.end = now
+        span = self._stage_spans.get((job_id, stage_id))
+        if span is not None:
+            self._close_span(span.span_id, now)
 
-    def job_started(self, job_id: int, name: str, now: float) -> None:
-        """Open a job record."""
+    def job_started(self, job_id: int, name: str, now: float) -> TraceContext:
+        """Open a job record and the root span of the job's trace.
+
+        Returns the job's :class:`TraceContext`; child spans derive
+        theirs from it.  A duplicate job id is an engine bug, not a
+        recoverable condition.
+        """
+        if job_id in self.jobs:
+            raise SimulationError(
+                f"job_started for duplicate job id {job_id} "
+                f"({self.jobs[job_id].name!r} already started)")
         self.jobs[job_id] = JobRecord(job_id, name, start=now)
+        trace_id = self.job_trace_id(job_id)
+        span = self._open_span(SpanRecord(
+            span_id=self.new_span_id(), trace_id=trace_id, parent_id=None,
+            kind=SPAN_JOB, name=name, start=now, attrs={"job_id": job_id}))
+        self._job_spans[job_id] = span
+        return TraceContext(trace_id=trace_id, span_id=span.span_id)
 
     def job_finished(self, job_id: int, now: float) -> None:
-        """Close a job record."""
-        self.jobs[job_id].end = now
+        """Close a job record (and its root span)."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise SimulationError(
+                f"job_finished for unknown job id {job_id}; known jobs: "
+                f"{sorted(self.jobs)}")
+        record.end = now
+        span = self._job_spans.get(job_id)
+        if span is not None:
+            self._close_span(span.span_id, now)
+
+    def attempt_started(self, job_id: int, stage_id: int, task_index: int,
+                        attempt: int, machine_id: int, now: float,
+                        speculative: bool = False,
+                        cause: str = "") -> TraceContext:
+        """Open an attempt span under its stage's span.
+
+        For attempts beyond a task's first, a causal link is recorded
+        from the previous attempt's span: ``retry`` for failure-driven
+        relaunches, ``speculation`` for straggler clones, and
+        ``redispatch`` for health-driven re-dispatch off an excluded
+        machine.
+        """
+        stage_span = self._stage_spans.get((job_id, stage_id))
+        trace_id = (stage_span.trace_id if stage_span is not None
+                    else self.job_trace_id(job_id))
+        parent = stage_span.span_id if stage_span is not None else None
+        span = self._open_span(SpanRecord(
+            span_id=self.new_span_id(), trace_id=trace_id, parent_id=parent,
+            kind=SPAN_ATTEMPT,
+            name=f"task {stage_id}.{task_index} attempt {attempt}",
+            start=now, machine_id=machine_id,
+            attrs={"job_id": job_id, "stage_id": stage_id,
+                   "task_index": task_index, "attempt": attempt}))
+        if speculative:
+            span.attrs["speculative"] = True
+        key = (job_id, stage_id, task_index)
+        previous = self._last_attempt_spans.get(key)
+        if previous is not None and previous.span_id != span.span_id:
+            if cause == "health-redispatch":
+                kind = LINK_REDISPATCH
+            elif speculative:
+                kind = LINK_SPECULATION
+            else:
+                kind = LINK_RETRY
+            self.record_link(SpanLink(
+                from_span_id=previous.span_id, to_span_id=span.span_id,
+                kind=kind, trace_id=trace_id, at=now,
+                detail=cause or f"attempt {attempt} on machine {machine_id}"))
+        self._last_attempt_spans[key] = span
+        return TraceContext(trace_id=trace_id, span_id=span.span_id,
+                            parent_id=parent)
+
+    def attempt_finished(self, trace: TraceContext, now: float,
+                         outcome: str, detail: str = "") -> None:
+        """Close an attempt span, stamping its outcome."""
+        span = self._open_spans.get(trace.span_id)
+        if span is not None:
+            span.attrs["outcome"] = outcome
+            if detail:
+                span.attrs["detail"] = detail
+        self._close_span(trace.span_id, now)
 
     # -- queries ------------------------------------------------------------------
 

@@ -181,6 +181,8 @@ class TransferRecord:
     nbytes: float
     start: float
     end: float
+    #: Job whose fetch this flow served; -1 when not attributable.
+    job_id: int = -1
 
     @property
     def duration(self) -> float:

@@ -85,6 +85,15 @@ def decompose(worker: MonoWorker, work: TaskWork) -> Decomposition:
     cleanup.after(main, output_monotask)
     monotasks.append(cleanup)
 
+    if work.trace is not None:
+        # Pre-mint leaf span ids at decomposition time (in DAG order,
+        # for determinism) so causal links can reference a monotask's
+        # span before it runs and self-reports.
+        metrics = worker.engine.metrics
+        for monotask in monotasks:
+            monotask.trace = work.trace
+            monotask.span_id = metrics.new_span_id()
+
     return Decomposition(monotasks, output_monotask)
 
 

@@ -143,3 +143,23 @@ class MonoSparkEngine(BaseEngine):
         clarity signal, turned into an online detector."""
         from repro.health.estimators import MonotaskRateEstimator
         return MonotaskRateEstimator(self.metrics)
+
+    # -- telemetry ------------------------------------------------------------------
+
+    def register_telemetry(self, telemetry) -> None:
+        """Base gauges plus per-resource scheduler queue depths.
+
+        The queue-depth series only exist here: the Spark engine has no
+        per-resource queues to observe (§3.1's contention is invisible
+        to it), so the gap in the exported metrics *is* the clarity
+        contrast.
+        """
+        super().register_telemetry(telemetry)
+        for machine_id in sorted(self.workers):
+            worker = self.workers[machine_id]
+            for key in sorted(worker.queue_lengths()):
+                telemetry.gauge(
+                    "repro_resource_queue_depth",
+                    "Monotasks waiting in a per-resource scheduler queue",
+                    lambda w=worker, k=key: w.queue_lengths()[k],
+                    engine=self.name, machine=machine_id, resource=key)

@@ -23,6 +23,7 @@ from repro.metrics.events import (CPU, DISK, NETWORK, MonotaskRecord,
                                   PHASE_SHUFFLE_SERVE, TransferRecord)
 from repro.simulator import Environment, Event
 from repro.simulator.network import FLOW_LATENCY_S
+from repro.trace.spans import LINK_SHUFFLE_FETCH, SpanLink, TraceContext
 
 if TYPE_CHECKING:
     from repro.monospark.worker import MonoWorker
@@ -46,6 +47,12 @@ class Monotask:
         self.done: Event = self.env.event()
         self.submitted_at: Optional[float] = None
         self.started_at: Optional[float] = None
+        #: Attempt span context + pre-minted leaf span id, attached by
+        #: ``decompose`` (and by fetches for remote serve reads) so the
+        #: self-report lands as a span under the attempt.  Pre-minting
+        #: lets causal links reference a span before it closes.
+        self.trace: Optional[TraceContext] = None
+        self.span_id: Optional[int] = None
 
     def after(self, *deps: Optional["Monotask"]) -> "Monotask":
         """Declare dependencies (None entries are skipped)."""
@@ -103,9 +110,10 @@ class ComputeMonotask(Monotask):
 
     def record(self) -> None:
         """Report duration with its deserialize/op/serialize split."""
-        self.worker.engine.metrics.record_monotask(self.base_record(
-            CPU, deserialize_s=self.deserialize_s, op_s=self.op_s,
-            serialize_s=self.serialize_s))
+        self.worker.engine.metrics.record_monotask(
+            self.base_record(CPU, deserialize_s=self.deserialize_s,
+                             op_s=self.op_s, serialize_s=self.serialize_s),
+            trace=self.trace, span_id=self.span_id)
 
 
 class DiskMonotask(Monotask):
@@ -128,8 +136,10 @@ class DiskMonotask(Monotask):
 
     def record(self) -> None:
         """Report the bytes moved and which disk served them."""
-        self.worker.engine.metrics.record_monotask(self.base_record(
-            DISK, nbytes=self.nbytes, disk_index=self.disk_index))
+        self.worker.engine.metrics.record_monotask(
+            self.base_record(DISK, nbytes=self.nbytes,
+                             disk_index=self.disk_index),
+            trace=self.trace, span_id=self.span_id)
 
 
 class FetchSource:
@@ -193,6 +203,19 @@ class NetworkFetchMonotask(Monotask):
                 (self.job_id, self.stage_id, self.task_index),
                 disk_index=source.disk_index, nbytes=source.nbytes,
                 kind="read")
+            if self.trace is not None and self.span_id is not None:
+                # The serve read is part of the *consumer's* causal
+                # chain: parent it under the same attempt and link it
+                # to this fetch so the producer -> consumer edge is in
+                # the trace (and renderable as a Perfetto flow).
+                read.trace = self.trace
+                read.span_id = engine.metrics.new_span_id()
+                engine.metrics.record_link(SpanLink(
+                    from_span_id=read.span_id, to_span_id=self.span_id,
+                    kind=LINK_SHUFFLE_FETCH, trace_id=self.trace.trace_id,
+                    at=self.env.now,
+                    detail=(f"serve read on machine {machine_id} -> "
+                            f"fetch on machine {local_id}")))
             remote_worker.submit_ready(read)
             reads.append(read.done)
         if reads:
@@ -209,9 +232,11 @@ class NetworkFetchMonotask(Monotask):
             # lets health monitoring localize a slow uplink.
             self.worker.engine.metrics.record_transfer(TransferRecord(
                 src_machine_id=machine_id, dst_machine_id=local_id,
-                nbytes=total, start=transfer_start, end=self.env.now))
+                nbytes=total, start=transfer_start, end=self.env.now,
+                job_id=self.job_id))
 
     def record(self) -> None:
         """Report the total bytes this fetch group received."""
-        self.worker.engine.metrics.record_monotask(self.base_record(
-            NETWORK, nbytes=self.total_bytes))
+        self.worker.engine.metrics.record_monotask(
+            self.base_record(NETWORK, nbytes=self.total_bytes),
+            trace=self.trace, span_id=self.span_id)

@@ -98,7 +98,7 @@ class JobServer:
                  admission: Optional[AdmissionController] = None,
                  policy: Union[str, JobScheduler] = "weighted_fair",
                  max_concurrent_jobs: Optional[int] = None,
-                 seed: int = 0, health=None) -> None:
+                 seed: int = 0, health=None, telemetry=None) -> None:
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ConfigError(
                 f"max_concurrent_jobs must be >= 1: {max_concurrent_jobs}")
@@ -117,6 +117,11 @@ class JobServer:
         #: server starts, stopped when the last job drains, so gray
         #: failures arising mid-stream are detected and excluded online.
         self.health = health
+        #: Optional :class:`repro.trace.TelemetrySampler`: the server
+        #: registers the engine's gauges plus its own (queued requests,
+        #: running jobs) into the sampler's registry, runs it for the
+        #: duration of the serve, and folds peak values into the report.
+        self.telemetry = telemetry
         self._queue: List[JobRequest] = []
         self._running: Dict[int, JobRequest] = {}
         self._workloads: List[tuple] = []
@@ -210,13 +215,30 @@ class JobServer:
         self.env.process(self._dispatcher())
         if self.health is not None:
             self.health.start()
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            self.engine.register_telemetry(registry)
+            registry.gauge(
+                "repro_serve_queued_requests",
+                "Admitted requests waiting for the job scheduler",
+                lambda: len(self._queue), engine=self.engine.name)
+            registry.gauge(
+                "repro_serve_running_jobs",
+                "Jobs currently executing on the engine",
+                lambda: len(self._running), engine=self.engine.name)
+            self.telemetry.start()
         self.env.run(until=self._all_done)
         if self.health is not None:
             self.health.stop()
-        return ServeReport.from_metrics(
+        if self.telemetry is not None:
+            self.telemetry.stop()
+        report = ServeReport.from_metrics(
             self.metrics, engine_name=self.engine.name,
             tenants=sorted(self.tenants),
             duration_s=self.env.now - start)
+        if self.telemetry is not None:
+            report.attach_telemetry(self.telemetry.registry)
+        return report
 
     def _source(self, tenant: str, template: JobTemplate, arrivals,
                 index: int):

@@ -116,6 +116,11 @@ class ServeReport:
     records: List[ServeRecord] = field(default_factory=list)
     #: Health-monitor decisions made during the run, in time order.
     health_events: List[HealthEventRecord] = field(default_factory=list)
+    #: metric name -> peak sampled value (summed across a metric's
+    #: series at each sample instant); filled by telemetry-enabled runs.
+    telemetry_peaks: Dict[str, float] = field(default_factory=dict)
+    #: Sample instants the telemetry sampler recorded.
+    telemetry_ticks: int = 0
 
     @classmethod
     def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
@@ -137,6 +142,27 @@ class ServeReport:
         if not attributable:
             report.queue_attribution = {}
         return report
+
+    def attach_telemetry(self, registry) -> None:
+        """Fold a sampled :class:`~repro.trace.TelemetryRegistry` in.
+
+        Stores, per metric, the peak of the instant-wise total across
+        that metric's series -- "the deepest any resource queue ever
+        got", not a per-machine breakdown (the full time series stays
+        on the registry).
+        """
+        totals: Dict[tuple, float] = {}
+        ticks = set()
+        for sample in registry.samples:
+            ticks.add(sample.t)
+            key = (sample.name, sample.t)
+            totals[key] = totals.get(key, 0.0) + sample.value
+        peaks: Dict[str, float] = {}
+        for (name, _), value in totals.items():
+            if value > peaks.get(name, float("-inf")):
+                peaks[name] = value
+        self.telemetry_peaks = dict(sorted(peaks.items()))
+        self.telemetry_ticks = len(ticks)
 
     @property
     def total_shed(self) -> int:
@@ -203,6 +229,13 @@ class ServeReport:
                  "detail"],
                 timeline_rows, title="Exclusion timeline (health monitor)"))
             lines.append(self._attribution_section())
+        if self.telemetry_peaks:
+            peak_rows = [[name, f"{value:g}"]
+                         for name, value in self.telemetry_peaks.items()]
+            lines.append(format_table(
+                ["metric", "peak"], peak_rows,
+                title=(f"Live telemetry peaks "
+                       f"({self.telemetry_ticks} sample instants)")))
         return "\n\n".join(lines)
 
     def _attribution_section(self) -> str:

@@ -1,0 +1,69 @@
+"""Streaming span/link sinks for long serving runs.
+
+The in-memory span list in :class:`~repro.metrics.collector.
+MetricsCollector` is fine for batch jobs, but a serving run that lives
+for hours of simulated time should stream its trace out instead of
+holding it.  A sink attached via ``MetricsCollector.add_span_sink``
+receives every span when it *closes* (spans are emitted complete, never
+half-open) and every link when it is recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+from repro.trace.spans import SpanLink, SpanRecord, link_to_json, span_to_json
+
+__all__ = ["JsonlSpanSink"]
+
+
+class JsonlSpanSink:
+    """Writes one JSON object per line: finished spans and links.
+
+    Usage::
+
+        sink = JsonlSpanSink("trace.jsonl")
+        ctx.metrics.add_span_sink(sink)
+        ... run jobs ...
+        sink.close()
+
+    The output is deterministic: key order is fixed by the
+    ``span_to_json``/``link_to_json`` helpers and floats are emitted
+    with ``repr`` precision, so identical runs produce identical files.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w")
+        self.spans_written = 0
+        self.links_written = 0
+
+    def span_finished(self, span: SpanRecord) -> None:
+        """Write one closed span."""
+        if self._write(span_to_json(span)):
+            self.spans_written += 1
+
+    def link_recorded(self, link: SpanLink) -> None:
+        """Write one causal link."""
+        if self._write(link_to_json(link)):
+            self.links_written += 1
+
+    def _write(self, record: dict) -> bool:
+        if self._handle is None:
+            return False  # Closed: late stragglers are dropped, not an error.
+        json.dump(record, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        return True
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -54,3 +54,13 @@ class TestExamples:
         assert "SLO report (spark" in out
         assert "SLO report (monospark" in out
         assert "Queueing attribution (monotask queue seconds)" in out
+
+    def test_tracing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        out = run_example("tracing", capsys)
+        assert "critical path: job 0" in out
+        assert "dominant:" in out
+        assert "NOT ATTRIBUTABLE" in out
+        assert "# TYPE repro_resource_queue_depth gauge" in out
+        assert (tmp_path / "tracing-monospark.json").exists()
+        assert (tmp_path / "tracing-spark-spans.jsonl").exists()
