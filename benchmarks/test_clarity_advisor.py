@@ -1,0 +1,59 @@
+"""Capacity-advisor validation against ground-truth re-simulation.
+
+Not a paper figure, but the paper's §6.2 methodology applied online: a
+seeded serving stream runs with the clarity pipeline attached, the
+advisor ranks three hardware what-ifs (add a disk, HDD -> SSD, doubled
+network) by predicted p95 service time, and each candidate cluster is
+then actually rebuilt and the identical stream replayed.  The advisor
+passes if its ranking matches the re-simulated ranking and every
+relative p95 prediction error stays inside the paper's 30% worst-case
+envelope.
+"""
+
+from helpers import emit, once
+
+from repro.clarity.validate import (ClarityWorkload, ERROR_ENVELOPE,
+                                    validate_advisor)
+
+WORKLOAD = ClarityWorkload()
+
+
+def test_clarity_advisor_validation(benchmark):
+    result = once(benchmark, lambda: validate_advisor(WORKLOAD))
+
+    rows = []
+    for outcome in result.outcomes:
+        rows.append([
+            outcome.name,
+            f"{outcome.predicted_p50_s:.2f}", f"{outcome.actual_p50_s:.2f}",
+            f"{outcome.predicted_p95_s:.2f}", f"{outcome.actual_p95_s:.2f}",
+            f"{100 * outcome.error_p95:.1f}%"])
+    dominant = result.bottleneck.dominant
+    notes = [
+        f"{result.jobs} jobs served (seed {result.seed}), baseline "
+        f"p50 {result.baseline_p50_s:.2f}s / p95 {result.baseline_p95_s:.2f}s",
+        f"window bottleneck: {dominant[0]} ({100 * dominant[1]:.1f}% of "
+        f"critical-path seconds)",
+        f"predicted ranking: {' < '.join(result.predicted_ranking)}",
+        f"actual ranking:    {' < '.join(result.actual_ranking)}",
+        f"ranking matches re-simulation: {result.ranking_matches}; "
+        f"worst p95 error {100 * result.max_error_p95:.1f}% "
+        f"(envelope {100 * ERROR_ENVELOPE:.0f}%)",
+    ]
+    emit("clarity_advisor",
+         f"capacity advisor vs ground truth, {WORKLOAD.machines} workers "
+         f"x {WORKLOAD.disks} HDD",
+         ["candidate", "pred p50", "actual p50", "pred p95", "actual p95",
+          "p95 err"],
+         rows, notes=notes)
+
+    assert result.jobs >= 3
+    assert len(result.outcomes) >= 3
+    # The acceptance criteria: ranking matches and errors inside the
+    # paper's envelope.
+    assert result.ranking_matches
+    assert result.max_error_p95 <= ERROR_ENVELOPE
+    # The stream is disk-bound by construction, and the advisor's top
+    # pick must be a disk candidate.
+    assert dominant[0].startswith("disk")
+    assert result.advisor.top.name in ("hdd-to-ssd", "add-disk")

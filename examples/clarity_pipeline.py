@@ -1,0 +1,63 @@
+"""Always-on clarity: live cluster bottlenecks and capacity advice.
+
+One seeded sort stream is served with the clarity pipeline attached.
+As jobs finish, a `ClarityAggregator` folds each one's critical-path
+attribution into a rolling window that answers the operator's question
+continuously -- *which resource, on which machine, is the cluster's
+bottleneck right now?* -- and a `CapacityAdvisor` ranks candidate
+capacity changes (add a disk, HDD->SSD, 2x network, +/-1 machine, input
+in memory) by predicted p95 service time, the paper's §6.2 what-if
+machinery applied to a whole serving window.
+
+The same stream on Spark shows the §6.6 contrast: blended tasks admit
+no decomposition, and both the window and the advisor say so explicitly
+instead of fabricating numbers.
+
+Run:  python examples/clarity_pipeline.py
+"""
+
+from repro import AnalyticsContext
+from repro.clarity import CapacityAdvisor, ClarityAggregator
+from repro.cluster import hdd_cluster
+from repro.model import hardware_profile
+from repro.serve import JobServer, PoissonArrivals, sort_template
+from repro.workloads.scaling import scaled_memory_overrides
+
+SEED = 0
+DURATION_S = 120.0
+
+
+def serve_with_clarity(engine):
+    cluster = hdd_cluster(num_machines=4, num_disks=2, seed=SEED,
+                          **scaled_memory_overrides(0.01))
+    ctx = AnalyticsContext(cluster, engine=engine,
+                           scheduling_policy="fair")
+    aggregator = ClarityAggregator(window_s=DURATION_S * 10,
+                                   engine=ctx.engine.name)
+    server = JobServer(ctx, policy="fifo", max_concurrent_jobs=1,
+                       seed=SEED, clarity=aggregator)
+    server.add_tenant("analytics")
+    server.add_workload(
+        "analytics",
+        sort_template(ctx, total_gb=0.5, num_tasks=32, seed=SEED),
+        PoissonArrivals(rate_per_s=0.05, horizon_s=DURATION_S))
+    server.run()
+    return ctx, aggregator
+
+
+def main():
+    for engine in ("monospark", "spark"):
+        ctx, aggregator = serve_with_clarity(engine)
+        print(f"=== {engine} ===")
+        print(aggregator.bottleneck().format())
+        print()
+        advisor = CapacityAdvisor(hardware_profile(ctx.cluster))
+        print(advisor.advise(aggregator.observations()).format())
+        print()
+    print("Same stream, same cluster: monospark's window decomposes into "
+          "resources and yields a ranked capacity plan; spark's is "
+          "explicitly not attributable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Track the clarity advisor's accuracy trajectory (stdlib only).
+
+Runs the seeded advisor-validation workload
+(``repro.clarity.validate.validate_advisor``) and writes a byte-stable
+JSON summary -- baseline p50/p95 service time, the advisor's top pick
+and ranking, and each candidate's relative prediction error against
+ground-truth re-simulation -- to ``BENCH_clarity.json``.  The committed
+copy at the repo root is the accuracy baseline; the CI clarity-bench
+job regenerates the file and diffs it against that baseline so advisor
+regressions (a ranking flip, an error drifting past tolerance) fail
+loudly instead of rotting silently.
+
+Usage:
+    python scripts/bench_trajectory.py [--output BENCH_clarity.json]
+    python scripts/bench_trajectory.py --check BENCH_clarity.json \
+        [--tolerance 0.02]
+
+``--check`` compares the freshly computed result against a committed
+baseline: rankings and the ranking-match flag must be identical, and
+every numeric field must agree within ``--tolerance`` (absolute, in the
+field's own units).  Exit status 0 on match, 1 on drift or a failed
+acceptance gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.clarity.validate import (ClarityWorkload, ERROR_ENVELOPE,
+                                    validate_advisor)  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_clarity.json")
+
+
+def compute() -> dict:
+    """One validation run, as the byte-stable JSON dict."""
+    return validate_advisor(ClarityWorkload()).to_json()
+
+
+def write(result: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _numbers(prefix: str, value) -> dict:
+    """Flatten every numeric leaf to ``path -> value``."""
+    out = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in value:
+            out.update(_numbers(f"{prefix}.{key}", value[key]))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(_numbers(f"{prefix}[{index}]", item))
+    return out
+
+
+def check(result: dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for key in ("predicted_ranking", "actual_ranking", "ranking_matches",
+                "advisor_top", "bottleneck", "engine", "seed"):
+        if result.get(key) != baseline.get(key):
+            failures.append(f"{key}: baseline {baseline.get(key)!r} "
+                            f"vs current {result.get(key)!r}")
+    ours, theirs = _numbers("$", result), _numbers("$", baseline)
+    for path in sorted(set(ours) | set(theirs)):
+        if path not in ours or path not in theirs:
+            failures.append(f"{path}: present on only one side")
+        elif abs(ours[path] - theirs[path]) > tolerance:
+            failures.append(f"{path}: baseline {theirs[path]} vs "
+                            f"current {ours[path]} "
+                            f"(tolerance {tolerance})")
+    if not result.get("ranking_matches"):
+        failures.append("advisor ranking no longer matches ground truth")
+    if result.get("max_error_p95", 1.0) > ERROR_ENVELOPE:
+        failures.append(f"max_error_p95 {result['max_error_p95']} exceeds "
+                        f"the {ERROR_ENVELOPE} envelope")
+    if failures:
+        print(f"clarity trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"clarity trajectory matches {baseline_path} "
+          f"(tolerance {tolerance})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON summary")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against this committed baseline "
+                             "instead of accepting the new result")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="absolute per-field drift allowed under "
+                             "--check (default 0.02)")
+    args = parser.parse_args(argv)
+
+    result = compute()
+    write(result, args.output)
+    print(f"wrote {args.output}: {result['jobs']} jobs, top pick "
+          f"{result['advisor_top']}, worst p95 error "
+          f"{result['max_error_p95']:.2%}")
+    if args.check is not None:
+        return check(result, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The always-on clarity pipeline: the paper's §6 payoff, continuously.
+
+Four siloed subsystems -- serving (:mod:`repro.serve`), causal tracing
+(:mod:`repro.trace`), the ideal model (:mod:`repro.model`), and metrics
+-- become one observability story:
+
+* :class:`TimeSeriesStore` -- bounded per-series ring buffers with
+  windowed aggregation, backing sampled telemetry;
+* :class:`ClarityAggregator` -- folds each completed job's
+  critical-path attribution into rolling windows that answer "which
+  resource/machine is the cluster's bottleneck over the last N
+  seconds" (and say *not attributable* on blended engines);
+* :class:`CapacityAdvisor` -- ranks candidate what-ifs (add a disk,
+  HDD->SSD, 2x network, +/- machines, input in memory) by predicted
+  p50/p95 improvement, with modeled-vs-measured provenance;
+* :mod:`repro.clarity.validate` -- checks the advisor's ranking and
+  error envelope against ground-truth re-simulation.
+
+See ``docs/clarity.md``.
+"""
+
+# Only tsdb is imported eagerly: repro.trace.telemetry imports it from
+# here, and the aggregator/advisor modules import repro.trace and
+# repro.model back -- eager imports would cycle.  The rest of the public
+# names resolve lazily (PEP 562) once the package graph is complete.
+from repro.clarity.tsdb import AGGREGATIONS, Labels, TimeSeriesStore
+
+_LAZY = {
+    "ClarityAggregator": "repro.clarity.aggregator",
+    "JobClarity": "repro.clarity.aggregator",
+    "BottleneckWindow": "repro.clarity.aggregator",
+    "CapacityAdvisor": "repro.clarity.advisor",
+    "Candidate": "repro.clarity.advisor",
+    "Recommendation": "repro.clarity.advisor",
+    "AdvisorReport": "repro.clarity.advisor",
+    "default_candidates": "repro.clarity.advisor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+__all__ = [
+    "TimeSeriesStore",
+    "Labels",
+    "AGGREGATIONS",
+    "ClarityAggregator",
+    "JobClarity",
+    "BottleneckWindow",
+    "CapacityAdvisor",
+    "Candidate",
+    "Recommendation",
+    "AdvisorReport",
+    "default_candidates",
+]

@@ -1,0 +1,209 @@
+"""The capacity advisor: ranked what-ifs over the recent job window.
+
+The paper's §6.2-§6.4 machinery answers "what would change X buy me?"
+for one measured job.  The advisor asks it for *every* job the clarity
+window observed and for a slate of candidate changes (add a disk,
+HDD -> SSD, 2x network, +/- machines, input in memory), then ranks the
+candidates by predicted p50/p95 improvement -- turning the offline
+what-if model into an operator-facing capacity recommendation.
+
+Every :class:`Recommendation` carries modeled-vs-measured provenance:
+how many jobs backed it, the measured percentiles it scaled from, and
+the mean modeled/measured ratio (how much of the measured time the
+ideal model explains).  Predictions inherit the §6.2 procedure's error
+envelope -- the paper reports worst-case relative error under 30% --
+and :mod:`repro.clarity.validate` checks exactly that against
+ground-truth re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import SSD
+from repro.errors import ClarityError
+from repro.metrics.utilization import percentile
+from repro.model.ideal import HardwareProfile
+from repro.model.predictor import WhatIf, predict
+
+__all__ = ["Candidate", "Recommendation", "AdvisorReport",
+           "CapacityAdvisor", "default_candidates"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One named hypothetical change the advisor evaluates."""
+
+    name: str
+    what_if: WhatIf
+
+    def describe(self) -> str:
+        """Human-readable summary of the hypothetical change."""
+        return self.what_if.describe()
+
+
+def default_candidates(hardware: HardwareProfile,
+                       include_software: bool = True) -> List[Candidate]:
+    """The standard slate of capacity questions for ``hardware``.
+
+    Hardware candidates: one more disk per machine, HDD -> SSD (only
+    when the current disks are slower than SSD), doubled network, one
+    machine added, one machine removed (when more than one exists).
+    ``include_software`` adds the §6.3 input-in-memory-deserialized
+    question.
+    """
+    candidates = [
+        Candidate("add-disk", WhatIf(hardware=hardware.scaled(
+            disks_per_machine=hardware.disks_per_machine + 1))),
+        Candidate("2x-network", WhatIf(hardware=hardware.scaled(
+            network_bps=hardware.network_bps * 2))),
+        Candidate("add-machine", WhatIf(hardware=hardware.scaled(
+            machines=hardware.num_machines + 1))),
+    ]
+    if hardware.disk_throughput_bps < SSD.throughput_bps:
+        candidates.append(Candidate("hdd-to-ssd", WhatIf(
+            hardware=hardware.scaled(
+                disk_throughput_bps=SSD.throughput_bps))))
+    if hardware.num_machines > 1:
+        candidates.append(Candidate("remove-machine", WhatIf(
+            hardware=hardware.scaled(
+                machines=hardware.num_machines - 1))))
+    if include_software:
+        candidates.append(Candidate(
+            "input-in-memory", WhatIf(input_in_memory_deserialized=True)))
+    return candidates
+
+
+@dataclass
+class Recommendation:
+    """One candidate's predicted effect on the window's latency."""
+
+    name: str
+    description: str
+    #: Provenance: jobs the prediction was scaled from.
+    jobs: int
+    #: Measured service-time percentiles of those jobs (the baseline).
+    measured_p50_s: float
+    measured_p95_s: float
+    #: Predicted percentiles under the candidate configuration.
+    predicted_p50_s: float
+    predicted_p95_s: float
+    #: Provenance: mean modeled-baseline / measured ratio across the
+    #: jobs -- how much of the measured time the ideal model explains
+    #: (the §6.2 scaling corrects for the remainder).
+    model_coverage: float
+
+    @property
+    def speedup_p95(self) -> float:
+        """Measured p95 over predicted p95 (>1 = improvement)."""
+        if self.predicted_p95_s <= 0:
+            raise ClarityError(
+                f"non-positive predicted p95 for {self.name!r}")
+        return self.measured_p95_s / self.predicted_p95_s
+
+
+@dataclass
+class AdvisorReport:
+    """The advisor's ranked answer for one window of jobs."""
+
+    jobs: int
+    attributable: bool
+    #: Ranked best-first by predicted p95 (ties by name).
+    recommendations: List[Recommendation] = field(default_factory=list)
+    reason: str = ""
+
+    @property
+    def top(self) -> Optional[Recommendation]:
+        """The best-ranked recommendation, if any."""
+        return self.recommendations[0] if self.recommendations else None
+
+    def format(self) -> str:
+        """A stable, human-readable ranking table."""
+        header = f"capacity advisor: {self.jobs} jobs in window"
+        if not self.attributable:
+            return (header + "\n  NOT ATTRIBUTABLE: " + self.reason)
+        lines = [header,
+                 "  rank  candidate         predicted p50  predicted p95  "
+                 "speedup  jobs  model coverage"]
+        for rank, rec in enumerate(self.recommendations, start=1):
+            lines.append(
+                f"  {rank:>4}  {rec.name:<16}  "
+                f"{rec.predicted_p50_s:>11.2f}s  "
+                f"{rec.predicted_p95_s:>11.2f}s  "
+                f"{rec.speedup_p95:>6.2f}x  {rec.jobs:>4}  "
+                f"{100.0 * rec.model_coverage:>13.1f}%")
+        top = self.top
+        if top is not None:
+            lines.append(
+                f"  recommend: {top.name} ({top.description}) -- "
+                f"predicted p95 {top.measured_p95_s:.2f}s -> "
+                f"{top.predicted_p95_s:.2f}s")
+        return "\n".join(lines)
+
+
+class CapacityAdvisor:
+    """Ranks candidate what-ifs over a window of clarity observations.
+
+    The advisor is deterministic: given the same observations (same
+    seed, same simulation) it produces byte-identical rankings.
+    """
+
+    def __init__(self, hardware: HardwareProfile,
+                 candidates: Optional[Sequence[Candidate]] = None) -> None:
+        self.hardware = hardware
+        self.candidates: List[Candidate] = (
+            list(candidates) if candidates is not None
+            else default_candidates(hardware))
+        if not self.candidates:
+            raise ClarityError("advisor needs at least one candidate")
+        names = [c.name for c in self.candidates]
+        if len(set(names)) != len(names):
+            raise ClarityError(f"duplicate candidate names: {names}")
+
+    def predictions(self, candidate: Candidate,
+                    observations: Sequence) -> List[float]:
+        """Per-job predicted durations under ``candidate`` (job order)."""
+        return [predict(job.profiles, job.measured_s, self.hardware,
+                        candidate.what_if).predicted_s
+                for job in observations]
+
+    def advise(self, observations: Sequence) -> AdvisorReport:
+        """Rank every candidate over the attributable observations.
+
+        ``observations`` are :class:`~repro.clarity.aggregator.JobClarity`
+        entries (e.g. ``aggregator.observations()``); jobs without stage
+        profiles -- blended-engine runs -- are excluded, and a window
+        with none yields an explicitly not-attributable report rather
+        than a fabricated ranking.
+        """
+        usable = [job for job in observations
+                  if job.attributable and job.profiles]
+        report = AdvisorReport(jobs=len(usable), attributable=bool(usable))
+        if not usable:
+            report.reason = (
+                "no attributable jobs in the window: what-if prediction "
+                "needs per-resource monotask profiles, which blended "
+                "tasks do not report (§6.6)")
+            return report
+        measured = [job.measured_s for job in usable]
+        measured_p50 = percentile(measured, 50)
+        measured_p95 = percentile(measured, 95)
+        for candidate in self.candidates:
+            predicted: List[float] = []
+            coverage = 0.0
+            for job in usable:
+                prediction = predict(job.profiles, job.measured_s,
+                                     self.hardware, candidate.what_if)
+                predicted.append(prediction.predicted_s)
+                coverage += prediction.modeled_old_s / job.measured_s
+            report.recommendations.append(Recommendation(
+                name=candidate.name, description=candidate.describe(),
+                jobs=len(usable),
+                measured_p50_s=measured_p50, measured_p95_s=measured_p95,
+                predicted_p50_s=percentile(predicted, 50),
+                predicted_p95_s=percentile(predicted, 95),
+                model_coverage=coverage / len(usable)))
+        report.recommendations.sort(
+            key=lambda rec: (rec.predicted_p95_s, rec.name))
+        return report

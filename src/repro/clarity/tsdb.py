@@ -1,0 +1,186 @@
+"""A queryable time-series store backed by per-series ring buffers.
+
+Long serving runs sample telemetry forever; an unbounded flat list of
+samples grows without limit and every per-series query scans all of it.
+The :class:`TimeSeriesStore` keeps one bounded ring buffer per labeled
+series instead: appends are O(1), a series lookup touches only that
+series' points, and retention is enforced both by point capacity and by
+simulated-time age, so an always-on clarity pipeline holds a sliding
+window of history no matter how long the service runs.
+
+The store is deliberately dependency-free (no simulation imports): it
+stores ``(t, value)`` pairs under ``(name, labels)`` keys and answers
+windowed aggregate queries -- mean/min/max/sum/last/rate and
+linear-interpolated percentiles -- over them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ClarityError
+
+__all__ = ["TimeSeriesStore", "Labels", "AGGREGATIONS"]
+
+#: Sorted (key, value) pairs -- hashable, deterministic label identity.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Supported fixed-name aggregations (percentiles are ``pNN`` strings).
+AGGREGATIONS = ("mean", "min", "max", "sum", "count", "last", "rate")
+
+
+def _percentile(values: List[float], q: float) -> float:
+    # Same linear-interpolated definition as metrics.utilization, kept
+    # local so the store stays free of simulation imports (telemetry
+    # imports it from inside the metrics package graph).
+    if not 0.0 <= q <= 100.0:
+        raise ClarityError(f"percentile q must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class _Series:
+    """One labeled series: a capacity- and age-bounded ring of points."""
+
+    __slots__ = ("points",)
+
+    def __init__(self, capacity: int) -> None:
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, t: float, value: float,
+               retention_s: Optional[float]) -> None:
+        if self.points and t < self.points[-1][0]:
+            raise ClarityError(
+                f"out-of-order append at t={t!r}; series is at "
+                f"t={self.points[-1][0]!r}")
+        self.points.append((t, value))
+        if retention_s is not None:
+            horizon = t - retention_s
+            while self.points and self.points[0][0] < horizon:
+                self.points.popleft()
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        return [(t, v) for t, v in self.points if start <= t <= end]
+
+
+class TimeSeriesStore:
+    """Bounded per-series history with windowed aggregation.
+
+    ``capacity_per_series`` caps how many points one series retains
+    (oldest evicted first); ``retention_s`` additionally drops points
+    older than that many seconds behind the series' newest point.
+    """
+
+    def __init__(self, capacity_per_series: int = 4096,
+                 retention_s: Optional[float] = None) -> None:
+        if capacity_per_series < 1:
+            raise ClarityError(
+                f"capacity_per_series must be >= 1: {capacity_per_series}")
+        if retention_s is not None and not retention_s > 0:
+            raise ClarityError(
+                f"retention_s must be positive: {retention_s!r}")
+        self.capacity_per_series = capacity_per_series
+        self.retention_s = retention_s
+        self._series: Dict[Tuple[str, Labels], _Series] = {}
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, name: str, t: float, value: float,
+               labels: Labels = ()) -> None:
+        """Append one point to the ``(name, labels)`` series."""
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Series(self.capacity_per_series)
+        series.append(t, float(value), self.retention_s)
+
+    # -- reading -------------------------------------------------------------------
+
+    def series(self) -> List[Tuple[str, Labels]]:
+        """Every known (name, labels) pair, sorted."""
+        return sorted(self._series)
+
+    def points(self, name: str, labels: Labels = ()
+               ) -> List[Tuple[float, float]]:
+        """All retained (t, value) points of one series, oldest first.
+
+        Unknown series yield an empty list (a series exists only once
+        something has been appended to it).
+        """
+        series = self._series.get((name, labels))
+        return list(series.points) if series is not None else []
+
+    def window(self, name: str, start: float, end: float,
+               labels: Labels = ()) -> List[Tuple[float, float]]:
+        """The series' points with ``start <= t <= end``."""
+        series = self._series.get((name, labels))
+        return series.window(start, end) if series is not None else []
+
+    def latest(self, name: str, labels: Labels = ()
+               ) -> Optional[Tuple[float, float]]:
+        """The newest retained point, or None for an unknown series."""
+        series = self._series.get((name, labels))
+        if series is None or not series.points:
+            return None
+        return series.points[-1]
+
+    def __len__(self) -> int:
+        """Total retained points across every series."""
+        return sum(len(s.points) for s in self._series.values())
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def aggregate(self, name: str, agg: str, window_s: float,
+                  now: Optional[float] = None,
+                  labels: Labels = ()) -> Optional[float]:
+        """One windowed aggregate of one series.
+
+        ``agg`` is one of :data:`AGGREGATIONS` or a percentile spelled
+        ``"p50"``/``"p95"``/``"p99.9"``.  The window is
+        ``[now - window_s, now]``; ``now`` defaults to the series'
+        newest point.  Returns None when the window holds no points.
+        ``rate`` is the per-second change between the window's first and
+        last points (the counter idiom); a single-point window rates 0.
+        """
+        if not window_s > 0:
+            raise ClarityError(f"window_s must be positive: {window_s!r}")
+        if now is None:
+            newest = self.latest(name, labels)
+            if newest is None:
+                return None
+            now = newest[0]
+        points = self.window(name, now - window_s, now, labels=labels)
+        if not points:
+            return None
+        values = [v for _, v in points]
+        if agg == "mean":
+            return sum(values) / len(values)
+        if agg == "min":
+            return min(values)
+        if agg == "max":
+            return max(values)
+        if agg == "sum":
+            return sum(values)
+        if agg == "count":
+            return float(len(values))
+        if agg == "last":
+            return values[-1]
+        if agg == "rate":
+            (t0, v0), (t1, v1) = points[0], points[-1]
+            return 0.0 if t1 <= t0 else (v1 - v0) / (t1 - t0)
+        if agg.startswith("p"):
+            try:
+                q = float(agg[1:])
+            except ValueError:
+                raise ClarityError(f"unknown aggregation {agg!r}")
+            return _percentile(values, q)
+        raise ClarityError(
+            f"unknown aggregation {agg!r}; supported: "
+            f"{', '.join(AGGREGATIONS)}, pNN")

@@ -11,6 +11,7 @@ Examples::
     python -m repro trace --output trace.json
     python -m repro faults --crash-machine 1 --restart-after 20
     python -m repro serve --duration 300 --rate 0.1 --max-queued 8
+    python -m repro clarity advise --duration 120 --rate 0.05
     python -m repro health --degrade-machine 1 --factor 10
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
@@ -160,6 +161,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash this machine mid-stream")
     p.add_argument("--crash-at", type=float, default=60.0)
     p.add_argument("--restart-after", type=float, default=30.0)
+
+    p = sub.add_parser("clarity",
+                       help="serve a job stream with the always-on "
+                            "clarity pipeline attached")
+    p.add_argument("action", nargs="?", default="report",
+                   choices=["report", "watch", "advise"],
+                   help="report: serve then print the SLO report with "
+                        "the clarity window folded in (default); watch: "
+                        "print rolling bottleneck snapshots during the "
+                        "serve; advise: rank capacity what-ifs over the "
+                        "window")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="arrival horizon in simulated seconds")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="sort-job arrivals per second")
+    p.add_argument("--sort-gb", type=float, default=0.5,
+                   help="data volume of each served sort job (GB)")
+    p.add_argument("--tasks", type=int, default=32,
+                   help="map/reduce tasks per served job")
+    p.add_argument("--window", type=float, default=600.0,
+                   help="rolling bottleneck window in seconds")
+    p.add_argument("--interval", type=float, default=30.0,
+                   help="watch: snapshot interval in seconds")
 
     p = sub.add_parser("health",
                        help="degrade a NIC mid-stream, watch online "
@@ -422,6 +448,53 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_clarity(args) -> int:
+    from repro.clarity import CapacityAdvisor, ClarityAggregator
+    from repro.model import hardware_profile
+    from repro.serve import JobServer, PoissonArrivals, sort_template
+
+    cluster = _make_cluster(args)
+    ctx = AnalyticsContext(cluster, engine=args.engine,
+                           scheduling_policy="fair")
+    aggregator = ClarityAggregator(window_s=args.window,
+                                   engine=ctx.engine.name)
+    server = JobServer(ctx, policy="fifo", max_concurrent_jobs=1,
+                       seed=args.seed, clarity=aggregator)
+    server.add_tenant("analytics")
+    template = sort_template(ctx, total_gb=args.sort_gb,
+                             num_tasks=args.tasks, seed=args.seed)
+    server.add_workload(
+        "analytics", template,
+        PoissonArrivals(args.rate, horizon_s=args.duration))
+    env = ctx.engine.env
+
+    if args.action == "watch":
+        def snapshots():
+            elapsed = 0.0
+            while elapsed < args.duration:
+                yield env.timeout(args.interval)
+                elapsed += args.interval
+                print(aggregator.bottleneck(now=env.now,
+                                            window_s=args.window).format())
+                print()
+        env.process(snapshots())
+
+    report = server.run()
+    if args.action == "watch":
+        print("final " + aggregator.bottleneck().format())
+        return 0
+    if args.action == "advise":
+        print(aggregator.bottleneck().format())
+        print()
+        advisor = CapacityAdvisor(hardware_profile(cluster))
+        advice = advisor.advise(aggregator.observations())
+        print(advice.format())
+        # Like `diagnose`, a window the engine cannot explain exits 3.
+        return 0 if advice.attributable else 3
+    print(report.format())
+    return 0
+
+
 def _cmd_health(args) -> int:
     from repro.faults import FaultInjector, fail_slow_plan
     from repro.health import HealthMonitor, HealthPolicy
@@ -512,6 +585,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "faults": _cmd_faults,
     "serve": _cmd_serve,
+    "clarity": _cmd_clarity,
     "health": _cmd_health,
     "reproduce": _cmd_reproduce,
 }

@@ -96,3 +96,8 @@ class TaskFailedError(ExecutionError):
 
 class ModelError(ReproError):
     """The performance model was given inconsistent measurements."""
+
+
+class ClarityError(ReproError):
+    """Invalid use of the clarity pipeline (time-series store,
+    windowed aggregation, or the capacity advisor)."""

@@ -27,12 +27,19 @@ def sample_utilization(tracker: BusyTracker, start: float, end: float,
     """Mean utilization over each ``step``-wide window of ``[start, end]``."""
     if step <= 0:
         raise ValueError(f"step must be positive: {step}")
+    # Window edges are computed as start + i*step rather than by
+    # accumulating t += step: repeated addition drifts by an ulp per
+    # window, which misaligns edges (and can add or drop a window) over
+    # long horizons with small steps.
     samples = []
-    t = start
-    while t < end:
-        hi = min(t + step, end)
+    index = 0
+    while True:
+        t = start + index * step
+        if t >= end:
+            break
+        hi = min(start + (index + 1) * step, end)
         samples.append((t, tracker.utilization(t, hi)))
-        t += step
+        index += 1
     return samples
 
 

@@ -98,7 +98,8 @@ class JobServer:
                  admission: Optional[AdmissionController] = None,
                  policy: Union[str, JobScheduler] = "weighted_fair",
                  max_concurrent_jobs: Optional[int] = None,
-                 seed: int = 0, health=None, telemetry=None) -> None:
+                 seed: int = 0, health=None, telemetry=None,
+                 clarity=None) -> None:
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ConfigError(
                 f"max_concurrent_jobs must be >= 1: {max_concurrent_jobs}")
@@ -122,6 +123,11 @@ class JobServer:
         #: running jobs) into the sampler's registry, runs it for the
         #: duration of the serve, and folds peak values into the report.
         self.telemetry = telemetry
+        #: Optional :class:`repro.clarity.ClarityAggregator`: every
+        #: completed job's critical-path attribution and stage profiles
+        #: are folded into its rolling window as the job finishes, and
+        #: the window's bottleneck answer lands in the report.
+        self.clarity = clarity
         self._queue: List[JobRequest] = []
         self._running: Dict[int, JobRequest] = {}
         self._workloads: List[tuple] = []
@@ -238,6 +244,8 @@ class JobServer:
             duration_s=self.env.now - start)
         if self.telemetry is not None:
             report.attach_telemetry(self.telemetry.registry)
+        if self.clarity is not None:
+            report.attach_clarity(self.clarity)
         return report
 
     def _source(self, tenant: str, template: JobTemplate, arrivals,
@@ -297,6 +305,10 @@ class JobServer:
             self.scheduler.credit(request.tenant, result.duration)
             self.estimator.observe(request.template_name, self.metrics,
                                    result)
+            if self.clarity is not None:
+                self.clarity.observe_job(self.metrics, request.plan.job_id,
+                                         engine=self.engine.name,
+                                         tenant=request.tenant)
         self.metrics.record_serve(ServeRecord(
             tenant=request.tenant, template=request.template_name,
             arrival=request.arrival, job_id=request.plan.job_id,

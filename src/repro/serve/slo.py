@@ -121,6 +121,13 @@ class ServeReport:
     telemetry_peaks: Dict[str, float] = field(default_factory=dict)
     #: Sample instants the telemetry sampler recorded.
     telemetry_ticks: int = 0
+    #: Rolling-window bottleneck attribution
+    #: (:class:`~repro.clarity.aggregator.BottleneckWindow`); filled by
+    #: clarity-enabled runs.
+    clarity: Optional[object] = None
+    #: Optional ranked capacity advice
+    #: (:class:`~repro.clarity.advisor.AdvisorReport`).
+    advice: Optional[object] = None
 
     @classmethod
     def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
@@ -148,21 +155,33 @@ class ServeReport:
 
         Stores, per metric, the peak of the instant-wise total across
         that metric's series -- "the deepest any resource queue ever
-        got", not a per-machine breakdown (the full time series stays
-        on the registry).
+        got", not a per-machine breakdown (the full ring-buffered time
+        series stays on ``registry.store``).
         """
         totals: Dict[tuple, float] = {}
         ticks = set()
-        for sample in registry.samples:
-            ticks.add(sample.t)
-            key = (sample.name, sample.t)
-            totals[key] = totals.get(key, 0.0) + sample.value
+        for name, labels in registry.store.series():
+            for t, value in registry.store.points(name, labels=labels):
+                ticks.add(t)
+                key = (name, t)
+                totals[key] = totals.get(key, 0.0) + value
         peaks: Dict[str, float] = {}
         for (name, _), value in totals.items():
             if value > peaks.get(name, float("-inf")):
                 peaks[name] = value
         self.telemetry_peaks = dict(sorted(peaks.items()))
         self.telemetry_ticks = len(ticks)
+
+    def attach_clarity(self, aggregator, advisor=None) -> None:
+        """Fold a :class:`~repro.clarity.ClarityAggregator`'s window in.
+
+        Stores the aggregator's rolling-window bottleneck answer; with
+        an optional :class:`~repro.clarity.CapacityAdvisor`, also its
+        ranked recommendations over the window's observations.
+        """
+        self.clarity = aggregator.bottleneck()
+        if advisor is not None:
+            self.advice = advisor.advise(aggregator.observations())
 
     @property
     def total_shed(self) -> int:
@@ -236,6 +255,10 @@ class ServeReport:
                 ["metric", "peak"], peak_rows,
                 title=(f"Live telemetry peaks "
                        f"({self.telemetry_ticks} sample instants)")))
+        if self.clarity is not None:
+            lines.append(self.clarity.format())
+        if self.advice is not None:
+            lines.append(self.advice.format())
         return "\n\n".join(lines)
 
     def _attribution_section(self) -> str:

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.clarity.tsdb import TimeSeriesStore
 from repro.errors import SimulationError
 from repro.simulator import Environment
 
@@ -58,12 +59,23 @@ class _Metric:
 
 
 class TelemetryRegistry:
-    """Named gauge/counter series backed by live callbacks."""
+    """Named gauge/counter series backed by live callbacks.
 
-    def __init__(self) -> None:
+    Sampled history lives in a per-series ring-buffer
+    :class:`~repro.clarity.tsdb.TimeSeriesStore` (``capacity_per_series``
+    points per series, optionally age-bounded by ``retention_s``), so an
+    always-on serving run holds a sliding window of telemetry rather
+    than an ever-growing flat list, and :meth:`history` is a per-series
+    lookup instead of a scan over every sample ever taken.
+    """
+
+    def __init__(self, capacity_per_series: int = 4096,
+                 retention_s: Optional[float] = None) -> None:
         self._metrics: Dict[str, _Metric] = {}
-        #: Time-series history appended by :meth:`sample`.
-        self.samples: List[TelemetrySample] = []
+        #: Ring-buffered time-series history appended by :meth:`sample`.
+        self.store = TimeSeriesStore(
+            capacity_per_series=capacity_per_series,
+            retention_s=retention_s)
 
     def gauge(self, name: str, help_text: str,
               callback: Callable[[], float], **labels: object) -> None:
@@ -127,22 +139,37 @@ class TelemetryRegistry:
         return float(callback())
 
     def sample(self, now: float) -> None:
-        """Snapshot every series into :attr:`samples` at time ``now``."""
+        """Snapshot every series into :attr:`store` at time ``now``."""
         for name, series in self.read().items():
             for labels, value in series:
-                self.samples.append(
-                    TelemetrySample(t=now, name=name, labels=labels,
-                                    value=value))
+                self.store.append(name, now, value, labels=labels)
 
     def history(self, name: str, **labels: object) -> List[Tuple[float, float]]:
-        """(t, value) points sampled so far for one series."""
+        """(t, value) points retained for one series (per-series lookup)."""
         key: Labels = tuple(sorted((k, str(v)) for k, v in labels.items()))
-        return [(s.t, s.value) for s in self.samples
-                if s.name == name and s.labels == key]
+        return self.store.points(name, labels=key)
 
-    def render_prometheus(self, now: Optional[float] = None) -> str:
+    @property
+    def samples(self) -> List[TelemetrySample]:
+        """Every retained sample, flattened and time-ordered.
+
+        A compatibility view over :attr:`store`: bounded by the ring
+        buffers, so on long runs it is the recent window, not all of
+        history.  Prefer :meth:`history` or :attr:`store` queries.
+        """
+        out = [TelemetrySample(t=t, name=name, labels=labels, value=value)
+               for name, labels in self.store.series()
+               for t, value in self.store.points(name, labels=labels)]
+        out.sort(key=lambda s: (s.t, s.name, s.labels))
+        return out
+
+    def render_prometheus(self, now: Optional[float] = None,
+                          windows: Sequence[float] = (),
+                          window_aggs: Sequence[str] = ("mean", "p95"),
+                          ) -> str:
         """The current values in Prometheus text exposition format."""
-        return render_prometheus(self, now=now)
+        return render_prometheus(self, now=now, windows=windows,
+                                 window_aggs=window_aggs)
 
 
 def _escape_label_value(value: str) -> str:
@@ -156,14 +183,37 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _window_suffix(window_s: float) -> str:
+    # "60" -> "60s", "1.5" -> "1_5s": metric names cannot contain ".".
+    return f"{window_s:g}".replace(".", "_").replace("+", "").replace(
+        "-", "_") + "s"
+
+
+def _series_line(name: str, labels: Labels, value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
 def render_prometheus(registry: TelemetryRegistry,
-                      now: Optional[float] = None) -> str:
+                      now: Optional[float] = None,
+                      windows: Sequence[float] = (),
+                      window_aggs: Sequence[str] = ("mean", "p95"),
+                      ) -> str:
     """Render a registry's live values as a Prometheus exposition page.
 
     Output is deterministic: metrics sorted by name, series by label
     set.  ``now`` (simulated seconds) is attached as a trailing comment,
     not a Prometheus timestamp, because simulated time is not epoch
     milliseconds.
+
+    For each window in ``windows`` (seconds) and each aggregation in
+    ``window_aggs``, additional recording-rule-style gauges named
+    ``<metric>:<agg>_<window>s`` are emitted from the registry's sampled
+    ring-buffer history -- e.g. ``repro_serve_running_jobs:p95_60s``.
+    Series with no samples in the window are omitted.
     """
     lines: List[str] = []
     if now is not None:
@@ -173,12 +223,25 @@ def render_prometheus(registry: TelemetryRegistry,
         lines.append(f"# HELP {name} {metric.help_text}")
         lines.append(f"# TYPE {name} {metric.kind}")
         for labels, value in series:
-            if labels:
-                body = ",".join(
-                    f'{k}="{_escape_label_value(v)}"' for k, v in labels)
-                lines.append(f"{name}{{{body}}} {_format_value(value)}")
-            else:
-                lines.append(f"{name} {_format_value(value)}")
+            lines.append(_series_line(name, labels, value))
+        for window_s in windows:
+            for agg in window_aggs:
+                agg_lines: List[str] = []
+                for labels, _ in series:
+                    value = registry.store.aggregate(
+                        name, agg, window_s=window_s, now=now, labels=labels)
+                    if value is None:
+                        continue
+                    agg_lines.append(_series_line(
+                        f"{name}:{agg}_{_window_suffix(window_s)}",
+                        labels, value))
+                if agg_lines:
+                    agg_name = f"{name}:{agg}_{_window_suffix(window_s)}"
+                    lines.append(
+                        f"# HELP {agg_name} {window_s:g}s-window {agg} of "
+                        f"{name}")
+                    lines.append(f"# TYPE {agg_name} gauge")
+                    lines.extend(agg_lines)
     return "\n".join(lines) + "\n"
 
 

@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 
 
 ALL_COMMANDS = ("sort", "bdb", "ml", "wordcount", "whatif", "diagnose",
-                "trace", "faults", "serve", "reproduce")
+                "trace", "faults", "serve", "clarity", "reproduce")
 
 
 class TestParser:
@@ -42,6 +42,21 @@ class TestParser:
     def test_invalid_engine_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sort", "--engine", "flink"])
+
+    def test_clarity_actions_parse(self):
+        parser = build_parser()
+        for action in ("report", "watch", "advise"):
+            args = parser.parse_args(["clarity", action])
+            assert args.action == action
+        assert parser.parse_args(["clarity"]).action == "report"
+
+    def test_clarity_bad_action_and_flag_exit_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["clarity", "bogus"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["clarity", "report", "--bogus-flag"])
+        assert excinfo.value.code == 2
 
 
 class TestCommands:
@@ -97,6 +112,43 @@ class TestCommands:
         assert "SLO report" in out
         assert "interactive" in out
         assert "Queueing attribution" in out
+
+    def test_clarity_report(self, capsys):
+        code = main(["clarity", "report", "--machines", "2",
+                     "--duration", "40", "--rate", "0.05",
+                     "--sort-gb", "0.25", "--tasks", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "clarity window" in out
+        assert "bottleneck:" in out
+
+    def test_clarity_watch(self, capsys):
+        code = main(["clarity", "watch", "--machines", "2",
+                     "--duration", "40", "--rate", "0.05",
+                     "--sort-gb", "0.25", "--tasks", "16",
+                     "--interval", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("clarity window") >= 2
+        assert "final clarity window" in out
+
+    def test_clarity_advise(self, capsys):
+        code = main(["clarity", "advise", "--machines", "2",
+                     "--duration", "40", "--rate", "0.05",
+                     "--sort-gb", "0.25", "--tasks", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "capacity advisor" in out
+        assert "recommend:" in out
+
+    def test_clarity_advise_spark_exits_three(self, capsys):
+        code = main(["clarity", "advise", "--engine", "spark",
+                     "--machines", "2", "--duration", "40",
+                     "--rate", "0.05", "--sort-gb", "0.25",
+                     "--tasks", "16"])
+        assert code == 3
+        assert "NOT ATTRIBUTABLE" in capsys.readouterr().out
 
     def test_trace_writes_file(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"

@@ -42,6 +42,12 @@ class TestExamples:
         assert "machine-crash" in out
         assert "lineage" in out
 
+    def test_clarity_pipeline(self, capsys):
+        out = run_example("clarity_pipeline", capsys)
+        assert "bottleneck: disk" in out
+        assert "recommend: " in out
+        assert "NOT ATTRIBUTABLE" in out
+
     def test_gray_failure(self, capsys):
         out = run_example("gray_failure", capsys)
         assert "exclude" in out

@@ -76,6 +76,19 @@ class TestUtilizationHelpers:
         samples = sample_utilization(tracker, 0.0, 10.0, 2.5)
         assert [round(u, 2) for _, u in samples] == [1.0, 1.0, 0.0, 0.0]
 
+    def test_sample_utilization_no_float_drift(self):
+        # Regression: accumulating ``t += step`` drifted after many
+        # windows (0.1 is not exact in binary), eventually misaligning
+        # window edges and dropping or duplicating the final sample.
+        env = Environment()
+        tracker = BusyTracker(env, units=1)
+        samples = sample_utilization(tracker, 0.0, 100.0, 0.1)
+        assert len(samples) == 1000
+        for index, (t, _) in enumerate(samples):
+            assert t == 0.0 + index * 0.1  # exact, not approximate
+        # The last window must start strictly before ``end``.
+        assert samples[-1][0] < 100.0
+
     def test_sample_requires_positive_step(self):
         env = Environment()
         tracker = BusyTracker(env, units=1)
