@@ -1,0 +1,63 @@
+"""Kernel-throughput benchmark: simulated monotasks/sec, observed.
+
+Runs the seeded serving stream from ``repro.kernelbench`` -- the
+MonoSpark engine with the full always-on clarity/telemetry pipeline
+attached -- and checks it against the committed ``BENCH_kernel.json``:
+the deterministic workload invariants must match exactly (same seed =>
+identical counts on any machine), and the measured throughput must
+clear the committed conservative floor.  The committed file also keeps
+the frozen pre-optimization baseline, so the emitted table shows the
+speedup trajectory.
+"""
+
+import json
+import os
+
+from helpers import emit, once
+
+from repro.kernelbench import KernelWorkload, run_kernel_benchmark
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_kernel.json")
+
+WORKLOAD = KernelWorkload()
+
+
+def test_kernel_throughput(benchmark):
+    with open(BASELINE_PATH) as handle:
+        committed = json.load(handle)
+
+    result = once(benchmark,
+                  lambda: run_kernel_benchmark(WORKLOAD, repeats=2))
+    frozen = committed.get("baseline", {})
+    speedup = (result.monotasks_per_s / frozen["monotasks_per_s"]
+               if frozen.get("monotasks_per_s") else float("nan"))
+
+    rows = [
+        ["pre-optimization (frozen)", frozen.get("wall_s", "-"),
+         frozen.get("monotasks_per_s", "-"),
+         frozen.get("events_per_s", "-"), "1.0x"],
+        ["this run", f"{result.wall_s:.3f}",
+         f"{result.monotasks_per_s:.1f}", f"{result.events_per_s:.1f}",
+         f"{speedup:.2f}x"],
+    ]
+    notes = [
+        f"{result.jobs} jobs / {result.monotasks} monotasks / "
+        f"{result.events_scheduled} kernel events in "
+        f"{result.sim_time_s:.0f} simulated seconds (seed "
+        f"{WORKLOAD.seed}), telemetry sampled every "
+        f"{WORKLOAD.telemetry_interval_s:.0f}s",
+        f"committed CI floor: {committed['min_monotasks_per_s']} "
+        f"monotasks/s",
+    ]
+    emit("kernel_throughput",
+         f"kernel throughput, {WORKLOAD.machines} workers x "
+         f"{WORKLOAD.disks} HDD, observed serving stream",
+         ["kernel", "wall s", "monotasks/s", "events/s", "speedup"],
+         rows, notes=notes)
+
+    # Deterministic invariants: exact match against the committed file.
+    assert result.invariants() == committed["invariants"]
+    assert WORKLOAD.params() == committed["workload"]
+    # Throughput: conservative floor only (wall-clock is machine-bound).
+    assert result.monotasks_per_s >= committed["min_monotasks_per_s"]

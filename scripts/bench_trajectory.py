@@ -1,25 +1,36 @@
-"""Track the clarity advisor's accuracy trajectory (stdlib only).
+"""Track the repo's benchmark trajectories (stdlib only).
 
-Runs the seeded advisor-validation workload
-(``repro.clarity.validate.validate_advisor``) and writes a byte-stable
-JSON summary -- baseline p50/p95 service time, the advisor's top pick
-and ranking, and each candidate's relative prediction error against
-ground-truth re-simulation -- to ``BENCH_clarity.json``.  The committed
-copy at the repo root is the accuracy baseline; the CI clarity-bench
-job regenerates the file and diffs it against that baseline so advisor
-regressions (a ranking flip, an error drifting past tolerance) fail
-loudly instead of rotting silently.
+Two benchmarks, selected with ``--bench``:
+
+* ``clarity`` (default) -- runs the seeded advisor-validation workload
+  (``repro.clarity.validate.validate_advisor``) and writes a byte-stable
+  JSON summary -- baseline p50/p95 service time, the advisor's top pick
+  and ranking, and each candidate's relative prediction error against
+  ground-truth re-simulation -- to ``BENCH_clarity.json``.
+* ``kernel`` -- runs the seeded kernel-throughput workload
+  (``repro.kernelbench``: an observed serving stream with the full
+  clarity/telemetry pipeline attached) and writes ``BENCH_kernel.json``:
+  deterministic workload invariants, the current wall-clock throughput
+  (best of ``--repeats``), and the frozen pre-optimization baseline
+  carried forward so the speedup trajectory stays visible.
+
+The committed copy at the repo root is the baseline; the CI
+clarity-bench / kernel-bench jobs regenerate the file and diff it
+against that baseline so regressions fail loudly instead of rotting
+silently.  For clarity, every numeric field must agree within
+``--tolerance``.  For kernel, the deterministic invariants must match
+*exactly* (same seed => same counts on any machine) and the measured
+monotasks/sec must clear the committed conservative floor; wall-clock
+fields themselves are machine-dependent and are not diffed.
 
 Usage:
-    python scripts/bench_trajectory.py [--output BENCH_clarity.json]
-    python scripts/bench_trajectory.py --check BENCH_clarity.json \
+    python scripts/bench_trajectory.py [--bench clarity]
+        [--output BENCH_clarity.json] [--check BASELINE]
         [--tolerance 0.02]
+    python scripts/bench_trajectory.py --bench kernel
+        [--output BENCH_kernel.json] [--check BASELINE] [--repeats 2]
 
-``--check`` compares the freshly computed result against a committed
-baseline: rankings and the ranking-match flag must be identical, and
-every numeric field must agree within ``--tolerance`` (absolute, in the
-field's own units).  Exit status 0 on match, 1 on drift or a failed
-acceptance gate.
+Exit status 0 on match, 1 on drift or a failed acceptance gate.
 """
 
 import argparse
@@ -33,13 +44,11 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 from repro.clarity.validate import (ClarityWorkload, ERROR_ENVELOPE,
                                     validate_advisor)  # noqa: E402
 
-DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "BENCH_clarity.json")
-
-
-def compute() -> dict:
-    """One validation run, as the byte-stable JSON dict."""
-    return validate_advisor(ClarityWorkload()).to_json()
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUTS = {
+    "clarity": os.path.join(_ROOT, "BENCH_clarity.json"),
+    "kernel": os.path.join(_ROOT, "BENCH_kernel.json"),
+}
 
 
 def write(result: dict, path: str) -> None:
@@ -64,7 +73,15 @@ def _numbers(prefix: str, value) -> dict:
     return out
 
 
-def check(result: dict, baseline_path: str, tolerance: float) -> int:
+# -- clarity ------------------------------------------------------------------
+
+
+def compute_clarity() -> dict:
+    """One validation run, as the byte-stable JSON dict."""
+    return validate_advisor(ClarityWorkload()).to_json()
+
+
+def check_clarity(result: dict, baseline_path: str, tolerance: float) -> int:
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     failures = []
@@ -96,25 +113,100 @@ def check(result: dict, baseline_path: str, tolerance: float) -> int:
     return 0
 
 
+# -- kernel -------------------------------------------------------------------
+
+
+def compute_kernel(repeats: int, carry_from: str) -> dict:
+    """One throughput measurement (best of ``repeats``).
+
+    The frozen pre-optimization baseline and the CI floor are carried
+    forward from ``carry_from`` when it exists: the slow code they were
+    measured against is gone, so they cannot be regenerated.
+    """
+    from repro.kernelbench import (KernelWorkload, run_kernel_benchmark,
+                                   trajectory_summary)
+    baseline = None
+    floor = None
+    if carry_from and os.path.exists(carry_from):
+        with open(carry_from) as handle:
+            committed = json.load(handle)
+        baseline = committed.get("baseline")
+        floor = committed.get("min_monotasks_per_s")
+    result = run_kernel_benchmark(KernelWorkload(), repeats=repeats)
+    return trajectory_summary(result, baseline=baseline, floor=floor,
+                              repeats=repeats)
+
+
+def check_kernel(result: dict, baseline_path: str) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section in ("workload", "invariants"):
+        ours, theirs = result.get(section, {}), baseline.get(section, {})
+        for key in sorted(set(ours) | set(theirs)):
+            if ours.get(key) != theirs.get(key):
+                failures.append(
+                    f"{section}.{key}: baseline {theirs.get(key)!r} "
+                    f"vs current {ours.get(key)!r} (must match exactly)")
+    floor = baseline.get("min_monotasks_per_s")
+    rate = result.get("current", {}).get("monotasks_per_s", 0.0)
+    if floor is not None and rate < floor:
+        failures.append(f"monotasks_per_s {rate} fell below the "
+                        f"committed floor {floor}")
+    if failures:
+        print(f"kernel trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"kernel trajectory matches {baseline_path} "
+          f"(floor {floor} monotasks/s, measured {rate})")
+    return 0
+
+
+# -- driver -------------------------------------------------------------------
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default=DEFAULT_OUTPUT,
-                        help="where to write the JSON summary")
+    parser.add_argument("--bench", choices=("clarity", "kernel"),
+                        default="clarity",
+                        help="which trajectory to run (default clarity)")
+    parser.add_argument("--output", default=None,
+                        help="where to write the JSON summary "
+                             "(default BENCH_<bench>.json at the repo root)")
     parser.add_argument("--check", metavar="BASELINE", default=None,
                         help="compare against this committed baseline "
                              "instead of accepting the new result")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="absolute per-field drift allowed under "
-                             "--check (default 0.02)")
+                             "--check for the clarity bench (default 0.02)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="kernel bench: repeats per measurement; the "
+                             "best wall-clock time is kept (default 2)")
     args = parser.parse_args(argv)
+    output = args.output or DEFAULT_OUTPUTS[args.bench]
 
-    result = compute()
-    write(result, args.output)
-    print(f"wrote {args.output}: {result['jobs']} jobs, top pick "
-          f"{result['advisor_top']}, worst p95 error "
-          f"{result['max_error_p95']:.2%}")
+    if args.bench == "clarity":
+        result = compute_clarity()
+        write(result, output)
+        print(f"wrote {output}: {result['jobs']} jobs, top pick "
+              f"{result['advisor_top']}, worst p95 error "
+              f"{result['max_error_p95']:.2%}")
+        if args.check is not None:
+            return check_clarity(result, args.check, args.tolerance)
+        return 0
+
+    carry = args.check or DEFAULT_OUTPUTS["kernel"]
+    result = compute_kernel(args.repeats, carry)
+    write(result, output)
+    current = result["current"]
+    speedup = result.get("speedup_monotasks")
+    print(f"wrote {output}: {result['invariants']['monotasks']} monotasks "
+          f"in {current['wall_s']}s wall "
+          f"({current['monotasks_per_s']} monotasks/s"
+          + (f", {speedup}x over the frozen baseline)" if speedup else ")"))
     if args.check is not None:
-        return check(result, args.check, args.tolerance)
+        return check_kernel(result, args.check)
     return 0
 
 

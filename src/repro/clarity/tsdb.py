@@ -16,10 +16,11 @@ linear-interpolated percentiles -- over them.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ClarityError
+from repro.stats import percentile as _shared_percentile
 
 __all__ = ["TimeSeriesStore", "Labels", "AGGREGATIONS"]
 
@@ -31,43 +32,66 @@ AGGREGATIONS = ("mean", "min", "max", "sum", "count", "last", "rate")
 
 
 def _percentile(values: List[float], q: float) -> float:
-    # Same linear-interpolated definition as metrics.utilization, kept
-    # local so the store stays free of simulation imports (telemetry
-    # imports it from inside the metrics package graph).
-    if not 0.0 <= q <= 100.0:
-        raise ClarityError(f"percentile q must be in [0, 100]: {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Shared definition from repro.stats (dependency-free, so the store
+    # keeps its no-simulation-imports guarantee), re-raised under the
+    # clarity error type.
+    try:
+        return _shared_percentile(values, q)
+    except ValueError as exc:
+        raise ClarityError(str(exc)) from None
 
 
 class _Series:
-    """One labeled series: a capacity- and age-bounded ring of points."""
+    """One labeled series: a capacity- and age-bounded window of points.
 
-    __slots__ = ("points",)
+    Points live in a plain time-sorted list behind a logical start
+    offset (a deque would make the bisect probes O(n) per lookup);
+    eviction advances the offset and the dead prefix is sliced away once
+    it outgrows the live window, which amortizes to O(1) per append.
+    """
 
-    def __init__(self, capacity: int) -> None:
-        self.points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+    __slots__ = ("_points", "_start")
 
-    def append(self, t: float, value: float,
+    def __init__(self) -> None:
+        self._points: List[Tuple[float, float]] = []
+        self._start = 0
+
+    def __len__(self) -> int:
+        return len(self._points) - self._start
+
+    def append(self, t: float, value: float, capacity: int,
                retention_s: Optional[float]) -> None:
-        if self.points and t < self.points[-1][0]:
+        points = self._points
+        start = self._start
+        if len(points) > start and t < points[-1][0]:
             raise ClarityError(
                 f"out-of-order append at t={t!r}; series is at "
-                f"t={self.points[-1][0]!r}")
-        self.points.append((t, value))
+                f"t={points[-1][0]!r}")
+        points.append((t, value))
+        live = len(points) - start
+        if live > capacity:
+            start += live - capacity
         if retention_s is not None:
-            horizon = t - retention_s
-            while self.points and self.points[0][0] < horizon:
-                self.points.popleft()
+            # Drop points with t < horizon; the new point itself always
+            # survives (horizon < t for positive retention).
+            start = bisect_left(points, (t - retention_s, float("-inf")),
+                                start)
+        self._start = start
+        if start > 64 and start * 2 >= len(points):
+            del points[:start]
+            self._start = 0
+
+    def snapshot(self) -> List[Tuple[float, float]]:
+        return self._points[self._start:]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if len(self._points) > self._start else None
 
     def window(self, start: float, end: float) -> List[Tuple[float, float]]:
-        return [(t, v) for t, v in self.points if start <= t <= end]
+        points = self._points
+        lo = bisect_left(points, (start, float("-inf")), self._start)
+        hi = bisect_right(points, (end, float("inf")), lo)
+        return points[lo:hi]
 
 
 class TimeSeriesStore:
@@ -98,8 +122,9 @@ class TimeSeriesStore:
         key = (name, labels)
         series = self._series.get(key)
         if series is None:
-            series = self._series[key] = _Series(self.capacity_per_series)
-        series.append(t, float(value), self.retention_s)
+            series = self._series[key] = _Series()
+        series.append(t, float(value), self.capacity_per_series,
+                      self.retention_s)
 
     # -- reading -------------------------------------------------------------------
 
@@ -115,7 +140,7 @@ class TimeSeriesStore:
         something has been appended to it).
         """
         series = self._series.get((name, labels))
-        return list(series.points) if series is not None else []
+        return series.snapshot() if series is not None else []
 
     def window(self, name: str, start: float, end: float,
                labels: Labels = ()) -> List[Tuple[float, float]]:
@@ -127,13 +152,11 @@ class TimeSeriesStore:
                ) -> Optional[Tuple[float, float]]:
         """The newest retained point, or None for an unknown series."""
         series = self._series.get((name, labels))
-        if series is None or not series.points:
-            return None
-        return series.points[-1]
+        return series.last() if series is not None else None
 
     def __len__(self) -> int:
         """Total retained points across every series."""
-        return sum(len(s.points) for s in self._series.values())
+        return sum(len(s) for s in self._series.values())
 
     # -- aggregation ---------------------------------------------------------------
 

@@ -56,6 +56,25 @@ class Cluster:
         """Look up one worker by id."""
         return self.machines[machine_id]
 
+    def set_tracker_retention(self, retention_s: Optional[float]) -> None:
+        """Bound every hardware busy-tracker's change log to roughly
+        ``retention_s`` of history (``None`` retains everything).
+
+        An always-on serving run keeps its telemetry in a sliding
+        window; the trackers feeding that telemetry must forget on the
+        same horizon or their change logs grow without bound.  Queries
+        older than the horizon are answered by proration (documented on
+        :class:`~repro.simulator.resources.BusyTracker`).
+        """
+        for machine in self.machines:
+            machine.cpu.tracker.set_retention(retention_s)
+            for disk in machine.disks:
+                disk.tracker.set_retention(retention_s)
+        for tracker in self.network.rx_trackers.values():
+            tracker.set_retention(retention_s)
+        for tracker in self.network.tx_trackers.values():
+            tracker.set_retention(retention_s)
+
     def degrade_machine(self, machine_id: int, cpu_factor: float = 1.0,
                         disk_factor: float = 1.0) -> None:
         """Slow one machine's hardware (before running any job).

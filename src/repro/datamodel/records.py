@@ -58,7 +58,7 @@ def estimate_record_bytes(record: Any) -> float:
     return 64.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Partition:
     """One partition of a dataset."""
 
@@ -110,13 +110,16 @@ class Partition:
                          record_count=max(0.0, record_count),
                          data_bytes=max(0.0, data_bytes))
 
-    def split_proportionally(self, buckets: Sequence[List[Any]]
-                             ) -> List["Partition"]:
+    def split_proportionally(self, buckets: Sequence[List[Any]],
+                             own_records: bool = False) -> List["Partition"]:
         """Split the modeled sizes across real-record buckets.
 
         Used by the shuffle writer: real records are hashed into buckets,
         and each bucket inherits a share of the modeled count/bytes
-        proportional to its real record share.
+        proportional to its real record share.  Pass ``own_records=True``
+        when the bucket lists are freshly built and may be adopted
+        without copying (the shuffle writer's case: a partitioner's
+        output is not reused).
         """
         total_real = sum(len(bucket) for bucket in buckets)
         parts = []
@@ -126,7 +129,7 @@ class Partition:
             else:
                 share = len(bucket) / total_real
             parts.append(Partition(
-                records=list(bucket),
+                records=bucket if own_records else list(bucket),
                 record_count=self.record_count * share,
                 data_bytes=self.data_bytes * share))
         return parts

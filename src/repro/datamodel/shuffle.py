@@ -21,7 +21,7 @@ from repro.errors import ShuffleError
 __all__ = ["ShuffleBucket", "MapOutputRegistry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ShuffleBucket:
     """One (map task, reduce partition) bucket of shuffle data."""
 
@@ -62,6 +62,8 @@ class MapOutputRegistry:
         #: and the engine re-executes exactly the missing map tasks.
         self._locations: Dict[int, Dict[int, Tuple[int, Optional[int]]]] = {}
         self._num_maps: Dict[int, int] = {}
+        #: shuffle_id -> True once its reduce lists are map-index-sorted.
+        self._sorted: Dict[int, bool] = {}
 
     def expect_maps(self, shuffle_id: int, num_maps: int) -> None:
         """Declare how many map tasks the shuffle has (for completeness
@@ -88,10 +90,16 @@ class MapOutputRegistry:
                 reduce_index=reduce_index, machine_id=machine_id,
                 disk_index=disk_index, partition=partition))
         locations[map_index] = (machine_id, disk_index)
+        self._sorted[shuffle_id] = False
 
     def buckets_for_reduce(self, shuffle_id: int,
                            reduce_index: int) -> List[ShuffleBucket]:
-        """All buckets a reduce task must fetch, sorted by map index."""
+        """All buckets a reduce task must fetch, sorted by map index.
+
+        Sorting is cached per reduce list: every reduce task of a stage
+        queries the same lists, so re-sorting per query is paid once per
+        registration instead.
+        """
         if shuffle_id not in self._buckets:
             raise ShuffleError(f"unknown shuffle {shuffle_id}")
         expected = self._num_maps.get(shuffle_id)
@@ -100,8 +108,14 @@ class MapOutputRegistry:
             raise ShuffleError(
                 f"shuffle {shuffle_id}: only {registered}/{expected} map "
                 f"outputs registered")
-        buckets = self._buckets[shuffle_id].get(reduce_index, [])
-        return sorted(buckets, key=lambda b: b.map_index)
+        buckets = self._buckets[shuffle_id].get(reduce_index)
+        if buckets is None:
+            return []
+        if not self._sorted.get(shuffle_id, False):
+            for per_reduce in self._buckets[shuffle_id].values():
+                per_reduce.sort(key=lambda b: b.map_index)
+            self._sorted[shuffle_id] = True
+        return list(buckets)
 
     # -- lineage invalidation (fault recovery) ------------------------------
 
@@ -111,6 +125,8 @@ class MapOutputRegistry:
         if expected is None:
             return []
         present = self._locations.get(shuffle_id, {})
+        if len(present) >= expected:
+            return []  # Complete: skip the per-index scan (hot path).
         return [index for index in range(expected) if index not in present]
 
     def invalidate_machine(self, machine_id: int) -> List[Tuple[int, int]]:

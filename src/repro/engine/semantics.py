@@ -28,7 +28,7 @@ from repro.errors import ExecutionError
 __all__ = ["ResolvedInput", "TaskWork", "compute_task_work"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolvedInput:
     """One source of input data for a task, located and sized."""
 
@@ -48,7 +48,7 @@ class ResolvedInput:
     block_id: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskWork:
     """Everything a task will do, computed up front.
 
@@ -124,7 +124,8 @@ def compute_task_work(descriptor: TaskDescriptor,
     if isinstance(output, ShuffleOutput):
         serialize_s = serialize_seconds(output_partition, output.fmt, cost)
         buckets = output.partitioner.split(output_partition.records)
-        parts = output_partition.split_proportionally(buckets)
+        parts = output_partition.split_proportionally(buckets,
+                                                      own_records=True)
         shuffle_buckets = {
             index: part for index, part in enumerate(parts)
             if part.record_count > 0 or part.records

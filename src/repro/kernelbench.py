@@ -1,0 +1,234 @@
+"""Kernel-throughput benchmark: simulated monotasks/sec, observed.
+
+The ROADMAP's "simulator-kernel raw speed" item (and the Dask-overheads
+paper in PAPERS.md) says per-task *runtime* overhead, not scheduling
+policy, is what caps task throughput.  This module pins that number: a
+seeded serving run on the MonoSpark engine with the **full always-on
+observability pipeline attached** -- clarity aggregation folding every
+completed job's critical path, plus a telemetry sampler snapshotting
+every gauge each simulated second -- measured in wall-clock time.  The
+paper's clarity story (PAPER.md §4) only holds if observing the system
+stays cheap, so the benchmark deliberately charges the kernel for its
+observability, not just for its event loop.
+
+Two kinds of numbers come out:
+
+* **Deterministic workload invariants** -- jobs completed, monotask
+  count, events scheduled, final simulated time, telemetry points
+  retained.  Same seed => identical values, on any machine; CI diffs
+  them exactly.
+* **Wall-clock throughput** -- simulated monotasks (and kernel events)
+  processed per real second.  Machine-dependent; the committed
+  ``BENCH_kernel.json`` keeps the pre-optimization baseline frozen next
+  to the current measurement so the speedup trajectory is visible, and
+  CI only enforces a conservative floor.
+
+``scripts/bench_trajectory.py --bench kernel`` and
+``benchmarks/test_kernel_throughput.py`` both run exactly this code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["KernelWorkload", "KernelBenchResult", "run_kernel_benchmark",
+           "trajectory_summary"]
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """The seeded serving stream the kernel benchmark drives.
+
+    Shape mirrors :class:`repro.clarity.validate.ClarityWorkload` (a
+    fine-grained shuffle-heavy sort stream on a small HDD cluster) but
+    tuned to the always-on serving regime the clarity story depends on:
+    a *long* stream of *small interactive* jobs arriving fast, with
+    telemetry sampling on and bounded by ``telemetry_retention_s`` the
+    way a forever-run must be.  Thousands of completed jobs is the
+    point -- per-job observability work (span collection, critical-path
+    folding) that scales with *accumulated history* rather than with
+    the job itself shows up here as a superlinear wall-clock blowup,
+    which is exactly what the committed trajectory guards against.
+    """
+
+    machines: int = 4
+    disks: int = 2
+    cores: int = 8
+    network_mb_s: float = 125.0
+    seed: int = 0
+    fraction: float = 0.01
+    duration_s: float = 7200.0
+    rate_per_s: float = 0.4
+    sort_gb: float = 0.1875
+    sort_tasks: int = 8
+    telemetry_interval_s: float = 1.0
+    telemetry_retention_s: float = 120.0
+
+    def params(self) -> Dict:
+        """The workload knobs, for embedding in the JSON summary."""
+        return {
+            "machines": self.machines, "disks": self.disks,
+            "cores": self.cores, "seed": self.seed,
+            "duration_s": self.duration_s, "rate_per_s": self.rate_per_s,
+            "sort_gb": self.sort_gb, "sort_tasks": self.sort_tasks,
+            "telemetry_interval_s": self.telemetry_interval_s,
+            "telemetry_retention_s": self.telemetry_retention_s,
+        }
+
+
+@dataclass
+class KernelBenchResult:
+    """One benchmark run: deterministic invariants + wall-clock rates."""
+
+    #: Deterministic (seed-reproducible on any machine).
+    jobs: int
+    monotasks: int
+    events_scheduled: int
+    sim_time_s: float
+    telemetry_points: int
+    #: Wall-clock (machine-dependent).
+    wall_s: float
+    workload: KernelWorkload = field(default_factory=KernelWorkload)
+
+    @property
+    def monotasks_per_s(self) -> float:
+        """Simulated monotasks completed per wall-clock second."""
+        return self.monotasks / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        """Kernel events processed per wall-clock second."""
+        return self.events_scheduled / self.wall_s if self.wall_s > 0 else 0.0
+
+    def measurement(self) -> Dict:
+        """The wall-clock side, as a JSON-ready dict."""
+        return {
+            "wall_s": round(self.wall_s, 3),
+            "monotasks_per_s": round(self.monotasks_per_s, 1),
+            "events_per_s": round(self.events_per_s, 1),
+        }
+
+    def invariants(self) -> Dict:
+        """The deterministic side, as a JSON-ready dict."""
+        return {
+            "jobs": self.jobs,
+            "monotasks": self.monotasks,
+            "events_scheduled": self.events_scheduled,
+            "sim_time_s": round(self.sim_time_s, 4),
+            "telemetry_points": self.telemetry_points,
+        }
+
+
+def trajectory_summary(result: KernelBenchResult,
+                       baseline: Optional[Dict] = None,
+                       floor: Optional[float] = None,
+                       repeats: int = 1) -> Dict:
+    """The byte-stable JSON dict ``BENCH_kernel.json`` holds.
+
+    ``baseline`` is the frozen pre-optimization measurement (carried
+    forward from the committed file -- it cannot be regenerated once
+    the slow code is gone).  ``floor`` is the conservative
+    monotasks/sec CI gate; when absent it is set to a quarter of the
+    current measurement, low enough to absorb runner-speed variance
+    while still catching an order-of-magnitude regression.
+    """
+    current = result.measurement()
+    summary: Dict = {
+        "benchmark": "kernel_throughput",
+        "workload": result.workload.params(),
+        "repeats": repeats,
+        "invariants": result.invariants(),
+        "current": current,
+    }
+    if baseline:
+        summary["baseline"] = baseline
+        base_rate = baseline.get("monotasks_per_s", 0.0)
+        if base_rate:
+            summary["speedup_monotasks"] = round(
+                current["monotasks_per_s"] / base_rate, 2)
+    if floor is None:
+        floor = round(current["monotasks_per_s"] * 0.25, 1)
+    summary["min_monotasks_per_s"] = floor
+    return summary
+
+
+def run_kernel_benchmark(workload: Optional[KernelWorkload] = None,
+                         repeats: int = 1) -> KernelBenchResult:
+    """Run the seeded observed serving stream; time it.
+
+    With ``repeats > 1`` the whole run executes that many times and the
+    best (smallest) wall-clock time is reported -- the standard
+    noise-floor statistic for throughput benchmarks on shared machines.
+    The deterministic invariants must agree across every repeat (same
+    seed, same code => same counts); a mismatch raises, which makes
+    every benchmark run double as a determinism check.
+    """
+    best: Optional[KernelBenchResult] = None
+    for _ in range(max(1, repeats)):
+        result = _run_once(workload)
+        if best is None:
+            best = result
+        elif result.invariants() != best.invariants():
+            raise AssertionError(
+                "non-deterministic benchmark run: "
+                f"{result.invariants()} != {best.invariants()}")
+        elif result.wall_s < best.wall_s:
+            best = result
+    return best
+
+
+def _run_once(workload: Optional[KernelWorkload] = None
+              ) -> KernelBenchResult:
+    """Run the seeded observed serving stream once; time it."""
+    # Local imports: the benchmark pulls in the serve/clarity stack, and
+    # this module must stay importable without it being on the hot path.
+    from repro.api.context import AnalyticsContext
+    from repro.clarity.aggregator import ClarityAggregator
+    from repro.clarity.validate import ClarityWorkload
+    from repro.serve.server import JobServer
+    from repro.serve.workload import PoissonArrivals, sort_template
+    from repro.trace.telemetry import TelemetryRegistry, TelemetrySampler
+
+    if workload is None:
+        workload = KernelWorkload()
+    shape = ClarityWorkload(
+        machines=workload.machines, disks=workload.disks,
+        cores=workload.cores, network_mb_s=workload.network_mb_s,
+        seed=workload.seed, fraction=workload.fraction)
+    cluster = shape.build_cluster()
+    ctx = AnalyticsContext(cluster, engine="monospark",
+                           scheduling_policy="fair")
+    env = ctx.engine.env
+    aggregator = ClarityAggregator(window_s=workload.duration_s * 10,
+                                   engine=ctx.engine.name)
+    registry = TelemetryRegistry(
+        retention_s=workload.telemetry_retention_s)
+    sampler = TelemetrySampler(env, registry,
+                               interval_s=workload.telemetry_interval_s)
+    server = JobServer(ctx, policy="fifo", max_concurrent_jobs=1,
+                       seed=workload.seed, clarity=aggregator,
+                       telemetry=sampler)
+    server.add_tenant("analytics")
+    template = sort_template(ctx, total_gb=workload.sort_gb,
+                             num_tasks=workload.sort_tasks,
+                             seed=workload.seed)
+    server.add_workload(
+        "analytics", template,
+        PoissonArrivals(workload.rate_per_s,
+                        horizon_s=workload.duration_s))
+
+    start = time.perf_counter()
+    report = server.run()
+    wall_s = time.perf_counter() - start
+
+    completed = sum(1 for r in report.records if r.outcome == "completed")
+    return KernelBenchResult(
+        jobs=completed,
+        monotasks=len(ctx.metrics.monotasks),
+        events_scheduled=env.events_scheduled,
+        sim_time_s=env.now,
+        telemetry_points=len(registry.store),
+        wall_s=wall_s,
+        workload=workload)

@@ -52,6 +52,16 @@ class MetricsCollector:
         self.spans: List[SpanRecord] = []
         #: Causal links between spans, in record order.
         self.links: List[SpanLink] = []
+        # Per-key views maintained at record time, so per-job queries
+        # read only that job's records instead of scanning the full
+        # history (which is quadratic over a long serving run).
+        self._spans_by_trace: Dict[str, List[SpanRecord]] = {}
+        self._links_by_trace: Dict[str, List[SpanLink]] = {}
+        self._monotasks_by_job: Dict[int, List[MonotaskRecord]] = {}
+        self._tasks_by_stage: Dict[Tuple[int, int], List[TaskRecord]] = {}
+        self._usage_by_stage: Dict[Tuple[int, int],
+                                   List[ResourceUsageRecord]] = {}
+        self._attempts_by_job: Dict[int, List[TaskAttemptRecord]] = {}
         self._span_ids = count(1)
         self._open_spans: Dict[int, SpanRecord] = {}
         self._job_spans: Dict[int, SpanRecord] = {}
@@ -74,17 +84,20 @@ class MetricsCollector:
     def record_span(self, span: SpanRecord) -> None:
         """Append a complete (already closed) span."""
         self.spans.append(span)
+        self._spans_by_trace.setdefault(span.trace_id, []).append(span)
         for sink in self._sinks:
             sink.span_finished(span)
 
     def record_link(self, link: SpanLink) -> None:
         """Append one causal link."""
         self.links.append(link)
+        self._links_by_trace.setdefault(link.trace_id, []).append(link)
         for sink in self._sinks:
             sink.link_recorded(link)
 
     def _open_span(self, span: SpanRecord) -> SpanRecord:
         self.spans.append(span)
+        self._spans_by_trace.setdefault(span.trace_id, []).append(span)
         self._open_spans[span.span_id] = span
         return span
 
@@ -102,13 +115,11 @@ class MetricsCollector:
 
     def spans_for_job(self, job_id: int) -> List[SpanRecord]:
         """All spans of one job's trace, in open order."""
-        trace_id = self.job_trace_id(job_id)
-        return [s for s in self.spans if s.trace_id == trace_id]
+        return list(self._spans_by_trace.get(self.job_trace_id(job_id), ()))
 
     def links_for_job(self, job_id: int) -> List[SpanLink]:
         """All causal links of one job's trace."""
-        trace_id = self.job_trace_id(job_id)
-        return [l for l in self.links if l.trace_id == trace_id]
+        return list(self._links_by_trace.get(self.job_trace_id(job_id), ()))
 
     # -- recording ----------------------------------------------------------------
 
@@ -122,6 +133,7 @@ class MetricsCollector:
         when the monotask waited at its resource scheduler.
         """
         self.monotasks.append(record)
+        self._monotasks_by_job.setdefault(record.job_id, []).append(record)
         if trace is None:
             return
         sid = span_id if span_id is not None else self.new_span_id()
@@ -144,6 +156,7 @@ class MetricsCollector:
     def record_task_attempt(self, record: TaskAttemptRecord) -> None:
         """Append one task attempt's outcome."""
         self.attempts.append(record)
+        self._attempts_by_job.setdefault(record.job_id, []).append(record)
 
     def record_fault(self, record: FaultEventRecord) -> None:
         """Append one injected-fault event."""
@@ -164,6 +177,8 @@ class MetricsCollector:
     def record_resource_usage(self, record: ResourceUsageRecord) -> None:
         """Append a Spark-engine per-task ground-truth record."""
         self.resource_usage.append(record)
+        self._usage_by_stage.setdefault(
+            (record.job_id, record.stage_id), []).append(record)
 
     def record_serve(self, record: ServeRecord) -> None:
         """Append one served (or shed) job request."""
@@ -175,6 +190,7 @@ class MetricsCollector:
         record = TaskRecord(job_id, stage_id, task_index, machine_id,
                             start=now)
         self.tasks.append(record)
+        self._tasks_by_stage.setdefault((job_id, stage_id), []).append(record)
         return record
 
     def stage_started(self, job_id: int, stage_id: int, name: str,
@@ -324,9 +340,10 @@ class MetricsCollector:
                         stage_id: Optional[int] = None
                         ) -> List[MonotaskRecord]:
         """Monotask reports of a job (optionally one stage)."""
-        return [m for m in self.monotasks
-                if m.job_id == job_id
-                and (stage_id is None or m.stage_id == stage_id)]
+        records = self._monotasks_by_job.get(job_id, ())
+        if stage_id is None:
+            return list(records)
+        return [m for m in records if m.stage_id == stage_id]
 
     def stage_window(self, job_id: int, stage_id: int) -> Tuple[float, float]:
         """A stage's (start, end) wall-clock window."""
@@ -353,18 +370,16 @@ class MetricsCollector:
 
     def tasks_for_stage(self, job_id: int, stage_id: int) -> List[TaskRecord]:
         """Task records of one stage."""
-        return [t for t in self.tasks
-                if t.job_id == job_id and t.stage_id == stage_id]
+        return list(self._tasks_by_stage.get((job_id, stage_id), ()))
 
     def usage_for_stage(self, job_id: int,
                         stage_id: int) -> List[ResourceUsageRecord]:
         """Spark ground-truth usage records of one stage."""
-        return [u for u in self.resource_usage
-                if u.job_id == job_id and u.stage_id == stage_id]
+        return list(self._usage_by_stage.get((job_id, stage_id), ()))
 
     def attempts_for_job(self, job_id: int) -> List[TaskAttemptRecord]:
         """All task attempts of one job."""
-        return [a for a in self.attempts if a.job_id == job_id]
+        return list(self._attempts_by_job.get(job_id, ()))
 
     def attempt_outcome_counts(self,
                                job_id: Optional[int] = None

@@ -54,7 +54,7 @@ PHASE_SETUP = "setup"
 PHASE_CLEANUP = "cleanup"
 
 
-@dataclass
+@dataclass(slots=True)
 class MonotaskRecord:
     """One monotask's self-report: what resource, how long, how much."""
 

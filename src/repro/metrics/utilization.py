@@ -8,10 +8,11 @@ with percentiles (Fig 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cluster.machine import Machine
 from repro.simulator.resources import BusyTracker
+from repro.stats import percentile
 
 __all__ = [
     "sample_utilization",
@@ -24,39 +25,42 @@ __all__ = [
 
 def sample_utilization(tracker: BusyTracker, start: float, end: float,
                        step: float) -> List[Tuple[float, float]]:
-    """Mean utilization over each ``step``-wide window of ``[start, end]``."""
+    """Mean utilization over each ``step``-wide window of ``[start, end]``.
+
+    All windows are computed from one merged sweep over the tracker's
+    change points (O(windows + change points)), not one full scan per
+    window.
+    """
     if step <= 0:
         raise ValueError(f"step must be positive: {step}")
     # Window edges are computed as start + i*step rather than by
     # accumulating t += step: repeated addition drifts by an ulp per
     # window, which misaligns edges (and can add or drop a window) over
     # long horizons with small steps.
-    samples = []
+    edges: List[float] = []
     index = 0
     while True:
         t = start + index * step
         if t >= end:
             break
-        hi = min(start + (index + 1) * step, end)
-        samples.append((t, tracker.utilization(t, hi)))
+        edges.append(t)
         index += 1
+    if not edges:
+        return []
+    # Windows are contiguous, so the i-th window is [bounds[i],
+    # bounds[i+1]] and one integral per edge covers them all.
+    bounds = edges + [min(start + len(edges) * step, end)]
+    integrals = tracker.busy_integrals(bounds)
+    units = tracker.units
+    samples: List[Tuple[float, float]] = []
+    for i, t in enumerate(edges):
+        window = bounds[i + 1] - bounds[i]
+        if window <= 0:
+            samples.append((t, 0.0))
+        else:
+            samples.append(
+                (t, (integrals[i + 1] - integrals[i]) / (units * window)))
     return samples
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (q in [0, 100]) of ``values``."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100]: {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
 
 class UtilizationSummary:

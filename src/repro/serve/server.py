@@ -224,6 +224,11 @@ class JobServer:
         if self.telemetry is not None:
             registry = self.telemetry.registry
             self.engine.register_telemetry(registry)
+            retention = getattr(registry, "retention_s", None)
+            if retention is not None:
+                # Tie hardware busy-tracker memory to the telemetry
+                # horizon: a forever-run must bound both the same way.
+                self.ctx.cluster.set_tracker_retention(retention)
             registry.gauge(
                 "repro_serve_queued_requests",
                 "Admitted requests waiting for the job scheduler",

@@ -79,6 +79,9 @@ class Disk:
             self._server_active = False
             self._server: Optional[Process] = None
             self._current: Optional[DiskRequest] = None
+            #: True while the server is inside a multi-chunk batch that a
+            #: new arrival should preempt at the next chunk boundary.
+            self._batch_preemptible = False
         else:
             self._active: List[DiskRequest] = []
             self._waiter: Optional[Process] = None
@@ -109,6 +112,12 @@ class Disk:
             if not self._server_active:
                 self._server_active = True
                 self._server = self.env.process(self._serve_hdd())
+            elif self._batch_preemptible:
+                # The server is deep in a lone request's batched
+                # transfer: cut it short at the next chunk boundary so
+                # the new arrival gets its round-robin turn.
+                self._batch_preemptible = False
+                self._server.interrupt(cause="new-request")
         else:
             self._admit_ssd(request)
         return request.done
@@ -174,8 +183,6 @@ class Disk:
                 self._current = request
                 if request.started_at is None:
                     request.started_at = self.env.now
-                chunk = min(spec.interleave_bytes, request.remaining)
-                service = chunk / spec.throughput_bps
                 # A seek is paid when the head moves: at the start of a new
                 # request, or when switching between interleaved streams.
                 # Alternating between reads and writes is costlier still
@@ -185,10 +192,45 @@ class Disk:
                     penalty = spec.seek_time_s
                     if last is not None and request.kind != last.kind:
                         penalty *= READ_WRITE_SWITCH_FACTOR
-                    service += penalty
                     self.seeks += 1
-                yield self.env.timeout(service)
-                request.remaining -= chunk
+                else:
+                    penalty = 0.0
+                chunk_s = spec.interleave_bytes / spec.throughput_bps
+                if self._queue:
+                    # Contended: one interleave chunk, then rotate.
+                    batch = min(spec.interleave_bytes, request.remaining)
+                    nchunks = 1
+                else:
+                    # Lone request: serve every remaining chunk under a
+                    # single timeout -- O(1) kernel events instead of
+                    # O(chunks) -- and let a new arrival preempt at the
+                    # next chunk boundary (below), which is exactly where
+                    # the per-chunk loop would have rotated streams.
+                    batch = request.remaining
+                    nchunks = int(-(-batch // spec.interleave_bytes))
+                served = batch
+                self._batch_preemptible = nchunks > 1
+                begin = self.env.now
+                try:
+                    yield self.env.timeout(
+                        penalty + batch / spec.throughput_bps)
+                except Interrupted as exc:
+                    if exc.cause != "new-request":
+                        raise
+                    # Preempted mid-batch: bank the chunks fully served,
+                    # then finish the chunk in flight at its boundary.
+                    elapsed = self.env.now - begin
+                    full = (int((elapsed - penalty) / chunk_s)
+                            if elapsed > penalty else 0)
+                    full = max(0, min(full, nchunks - 1))
+                    served = min((full + 1) * spec.interleave_bytes, batch)
+                    residual = (penalty + served / spec.throughput_bps
+                                - elapsed)
+                    if residual > 0:
+                        yield self.env.timeout(residual)
+                finally:
+                    self._batch_preemptible = False
+                request.remaining -= served
                 self._current = None
                 if request.remaining > 1e-9:
                     self._queue.append(request)
@@ -204,6 +246,7 @@ class Disk:
         finally:
             self._current = None
             self._server_active = False
+            self._batch_preemptible = False
             self.tracker.set_busy(0)
 
     # -- SSD: rate-shared server ----------------------------------------------

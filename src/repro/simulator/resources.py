@@ -10,8 +10,9 @@ These are the building blocks the hardware models and frameworks share:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.simulator.core import Environment, Event
@@ -120,23 +121,59 @@ class Semaphore:
 class BusyTracker:
     """Step-function record of how many units of a resource are busy.
 
-    The tracker stores ``(time, busy_units)`` change points.  Utilization
-    over a window and full time series are computed by
-    :mod:`repro.metrics.utilization` from these change points.
+    The tracker stores ``(time, busy_units)`` change points plus a
+    parallel prefix-sum of busy unit-seconds, so any window query is two
+    bisects instead of a scan from t=0.  Utilization over a window and
+    full time series are computed by :mod:`repro.metrics.utilization`
+    from these change points.
+
+    With a ``retention_s`` horizon set (the telemetry retention window,
+    see :meth:`set_retention`), change points older than twice the
+    horizon are compacted away into a checkpoint ``(first change time,
+    busy-seconds before it)``.  Totals measured from the tracker's
+    creation time stay exact; window queries that reach *inside* the
+    compacted region prorate the checkpointed mass uniformly (documented
+    approximation -- everything within the retention horizon is exact).
     """
 
-    def __init__(self, env: Environment, units: int, name: str = "") -> None:
+    __slots__ = ("env", "units", "name", "busy", "changes",
+                 "_cum", "_cum0", "_origin", "retention_s")
+
+    def __init__(self, env: Environment, units: int, name: str = "",
+                 retention_s: Optional[float] = None) -> None:
         self.env = env
         self.units = units
         self.name = name
         self.busy = 0
         self.changes: List[Tuple[float, int]] = [(env.now, 0)]
+        #: Prefix sums: ``_cum[i]`` = busy unit-seconds accumulated from
+        #: ``changes[0]`` up to ``changes[i]``.
+        self._cum: List[float] = [0.0]
+        #: Busy unit-seconds compacted away before ``changes[0]``.
+        self._cum0 = 0.0
+        #: Time the tracker started observing (usually 0.0).
+        self._origin = env.now
+        self.retention_s = None
+        self.set_retention(retention_s)
+
+    def __len__(self) -> int:
+        """Retained change points (bounded when a horizon is set)."""
+        return len(self.changes)
+
+    def set_retention(self, retention_s: Optional[float]) -> None:
+        """Bound retained change points to roughly ``retention_s`` of
+        history (pass ``None`` to retain everything)."""
+        if retention_s is not None and not retention_s > 0:
+            raise SimulationError(
+                f"{self.name}: retention must be positive, got {retention_s!r}")
+        self.retention_s = retention_s
 
     def add(self, delta: int = 1) -> None:
         """Mark ``delta`` more units busy from now on."""
-        self.busy += delta
-        if self.busy < 0:
+        busy = self.busy + delta
+        if busy < 0:
             raise SimulationError(f"{self.name}: busy count went negative")
+        self.busy = busy
         self._record()
 
     def remove(self, delta: int = 1) -> None:
@@ -145,31 +182,84 @@ class BusyTracker:
 
     def set_busy(self, busy: int) -> None:
         """Set the absolute busy-unit count."""
+        if busy < 0:
+            raise SimulationError(f"{self.name}: busy count went negative")
         self.busy = busy
         self._record()
 
     def _record(self) -> None:
         now = self.env.now
-        if self.changes and self.changes[-1][0] == now:
-            self.changes[-1] = (now, self.busy)
+        changes = self.changes
+        t_last, b_last = changes[-1]
+        if t_last == now:
+            changes[-1] = (now, self.busy)
         else:
-            self.changes.append((now, self.busy))
+            changes.append((now, self.busy))
+            self._cum.append(self._cum[-1] + b_last * (now - t_last))
+            retention = self.retention_s
+            if retention is not None and changes[0][0] < now - 2.0 * retention:
+                self._compact(now - retention)
+
+    def _compact(self, horizon: float) -> None:
+        """Fold change points strictly before ``horizon`` into the
+        checkpoint, keeping the last one at-or-before it as the new
+        first point (its busy level is in effect at the horizon)."""
+        idx = bisect_right(self.changes, (horizon, float("inf"))) - 1
+        if idx <= 0:
+            return
+        base = self._cum[idx]
+        self._cum0 += base
+        del self.changes[:idx]
+        self._cum = [c - base for c in self._cum[idx:]]
+
+    def _integral(self, t: float) -> float:
+        """Busy unit-seconds from the tracker origin to time ``t``."""
+        changes = self.changes
+        t0 = changes[0][0]
+        if t <= t0:
+            # Inside (or before) the compacted region: prorate the
+            # checkpointed mass uniformly over [origin, t0].
+            span = t0 - self._origin
+            if span <= 0.0 or t <= self._origin:
+                return 0.0
+            return self._cum0 * ((t - self._origin) / span)
+        i = bisect_right(changes, (t, float("inf"))) - 1
+        t_i, busy_i = changes[i]
+        return self._cum0 + self._cum[i] + busy_i * (t - t_i)
 
     def busy_time(self, start: float = 0.0, end: Optional[float] = None) -> float:
         """Total busy unit-seconds in ``[start, end]``."""
         if end is None:
             end = self.env.now
-        total = 0.0
-        for (t0, busy), (t1, _) in zip(self.changes, self.changes[1:]):
-            lo, hi = max(t0, start), min(t1, end)
-            if hi > lo:
-                total += busy * (hi - lo)
-        # Tail segment from the last change point to `end`.
-        t_last, busy_last = self.changes[-1]
-        lo, hi = max(t_last, start), end
-        if hi > lo:
-            total += busy_last * (hi - lo)
-        return total
+        if end <= start:
+            return 0.0
+        return self._integral(end) - self._integral(start)
+
+    def busy_integrals(self, times: Sequence[float]) -> List[float]:
+        """Busy unit-seconds from the origin to each of ``times``.
+
+        ``times`` must be non-decreasing; the result is computed in one
+        merged sweep over the change points, so sampling W window edges
+        costs O(W + n) rather than W independent scans.
+        """
+        changes = self.changes
+        cum = self._cum
+        n = len(changes)
+        out: List[float] = []
+        i = 0  # index of the last change point at or before t
+        for t in times:
+            if t <= changes[0][0]:
+                span = changes[0][0] - self._origin
+                if span <= 0.0 or t <= self._origin:
+                    out.append(0.0)
+                else:
+                    out.append(self._cum0 * ((t - self._origin) / span))
+                continue
+            while i + 1 < n and changes[i + 1][0] <= t:
+                i += 1
+            t_i, busy_i = changes[i]
+            out.append(self._cum0 + cum[i] + busy_i * (t - t_i))
+        return out
 
     def utilization(self, start: float = 0.0, end: Optional[float] = None) -> float:
         """Mean fraction of units busy over ``[start, end]``."""

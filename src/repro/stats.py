@@ -1,0 +1,34 @@
+"""Small dependency-free numeric helpers shared across layers.
+
+This module must import nothing from the simulation, metrics, or
+clarity packages: it sits below all of them so that, e.g., the
+clarity time-series store can share code with the metrics layer
+without acquiring a simulation dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``.
+
+    Raises ``ValueError`` on an empty sequence or a ``q`` outside
+    [0, 100] (including NaN).  Callers that need a domain-specific
+    error type should wrap this.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

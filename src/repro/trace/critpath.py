@@ -25,6 +25,7 @@ pretending -- §6.6's contrast, executable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Tuple
 
 from repro.errors import SimulationError
@@ -72,23 +73,43 @@ class PathSegment:
         return self.resource
 
 
-@dataclass(frozen=True)
 class _Interval:
-    """A candidate covering interval derived from one span."""
+    """A candidate covering interval derived from one span.
 
-    start: float
-    end: float
-    kind: str
-    resource: str
-    machine_id: int
-    phase: str
-    span_id: int
+    A plain ``__slots__`` class, not a dataclass: one is built per span
+    per job on the always-on clarity path, and the precomputed
+    ``sort_key`` (latest start wins; deterministic tie-breaks after
+    that) is what the walk's max-heap orders by.
+    """
 
-    @property
-    def sort_key(self) -> Tuple:
-        # Latest start wins; deterministic tie-breaks after that.
-        return (self.start, self.kind == SERVICE, self.resource,
-                self.machine_id, self.phase, self.span_id)
+    __slots__ = ("start", "end", "kind", "resource", "machine_id",
+                 "phase", "span_id", "sort_key")
+
+    def __init__(self, start: float, end: float, kind: str, resource: str,
+                 machine_id: int, phase: str, span_id: int) -> None:
+        self.start = start
+        self.end = end
+        self.kind = kind
+        self.resource = resource
+        self.machine_id = machine_id
+        self.phase = phase
+        self.span_id = span_id
+        self.sort_key: Tuple = (start, kind == SERVICE, resource,
+                                machine_id, phase, span_id)
+
+
+class _MaxEntry:
+    """Heap entry that inverts comparison, turning ``heapq``'s min-heap
+    into a max-heap over ``_Interval.sort_key``."""
+
+    __slots__ = ("key", "interval")
+
+    def __init__(self, interval: _Interval) -> None:
+        self.key = interval.sort_key
+        self.interval = interval
+
+    def __lt__(self, other: "_MaxEntry") -> bool:
+        return self.key > other.key
 
 
 class CriticalPathReport:
@@ -253,14 +274,29 @@ def critical_path(metrics, job_id: int,
 
     # Backward walk: at each point t, the binding interval is the one
     # covering t whose start is latest; gaps no interval covers are
-    # driver coordination.
+    # driver coordination.  Implemented as a sweep: both halves of the
+    # covering test are monotone as t decreases (``end >= t - eps``
+    # becomes true and stays true; ``start < t - eps`` becomes false and
+    # stays false), so intervals enter a max-heap over ``sort_key`` as t
+    # passes their end and are lazily discarded once their start can no
+    # longer precede t.  Each interval is pushed and popped at most
+    # once -- O(n log n) -- and because ``sort_key`` leads with
+    # ``start``, the heap top after discarding is exactly the interval
+    # the old per-step ``max(covering)`` rescan selected.
+    by_end = sorted(intervals, key=lambda iv: iv.end, reverse=True)
+    pending: List[_MaxEntry] = []
+    next_in = 0
+    total = len(by_end)
     segments: List[PathSegment] = []
     t = hi
     while t - lo > _EPS:
-        covering = [iv for iv in intervals
-                    if iv.start < t - _EPS and iv.end >= t - _EPS]
-        if covering:
-            binding = max(covering, key=lambda iv: iv.sort_key)
+        while next_in < total and by_end[next_in].end >= t - _EPS:
+            heappush(pending, _MaxEntry(by_end[next_in]))
+            next_in += 1
+        while pending and pending[0].interval.start >= t - _EPS:
+            heappop(pending)
+        if pending:
+            binding = pending[0].interval
             cut = max(binding.start, lo)
             segments.append(PathSegment(
                 start=cut, end=t, kind=binding.kind,
@@ -268,8 +304,10 @@ def critical_path(metrics, job_id: int,
                 phase=binding.phase, span_id=binding.span_id))
             t = cut
             continue
-        ends_before = [iv.end for iv in intervals if iv.end < t - _EPS]
-        cut = max(max(ends_before), lo) if ends_before else lo
+        # Driver gap.  Everything ending at-or-after t has been
+        # inserted, so the next uninserted interval (if any) holds the
+        # latest end before t.
+        cut = max(by_end[next_in].end, lo) if next_in < total else lo
         segments.append(PathSegment(
             start=cut, end=t, kind=DRIVER, resource=DRIVER,
             machine_id=-1, phase="", span_id=-1))

@@ -80,7 +80,7 @@ class TraceContext:
                             parent_id=self.span_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One timed node of a job's span tree."""
 

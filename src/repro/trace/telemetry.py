@@ -77,6 +77,11 @@ class TelemetryRegistry:
             capacity_per_series=capacity_per_series,
             retention_s=retention_s)
 
+    @property
+    def retention_s(self) -> Optional[float]:
+        """The store's age bound (None when only capacity-bounded)."""
+        return self.store.retention_s
+
     def gauge(self, name: str, help_text: str,
               callback: Callable[[], float], **labels: object) -> None:
         """Register a gauge series (a value that can go up and down)."""

@@ -1,0 +1,72 @@
+"""Same-seed determinism property tests for the simulation kernel.
+
+The kernel's hot-path machinery (the hybrid immediate/heap event queue,
+batched HDD chunk transfers, busy-tracker compaction) must preserve the
+determinism contract: the same seed produces the identical event
+sequence, so event counts, per-job finish times, and critical-path
+attribution all match exactly -- on both engines.  These tests run the
+same seeded serving stream twice and diff every observable; any
+nondeterminism in queue ordering or completion batching shows up as an
+exact-equality failure here.
+"""
+
+import pytest
+
+from repro.api.context import AnalyticsContext
+from repro.cluster import hdd_cluster
+from repro.serve import (JobServer, PoissonArrivals, sort_template,
+                         wordcount_template)
+from repro.trace.critpath import critical_path
+
+SEEDS = [0, 7, 42]
+
+
+def run_stream(engine: str, seed: int):
+    """One seeded serving stream; returns every determinism observable."""
+    cluster = hdd_cluster(num_machines=2, num_disks=2, seed=seed)
+    ctx = AnalyticsContext(cluster, engine=engine)
+    server = JobServer(ctx, policy="fifo", seed=seed)
+    server.add_tenant("t")
+    if seed % 2:
+        template = wordcount_template(ctx, num_blocks=2, block_mb=4.0,
+                                      seed=seed)
+    else:
+        template = sort_template(ctx, total_gb=0.05, num_tasks=4, seed=seed)
+    server.add_workload("t", template,
+                        PoissonArrivals(0.2, horizon_s=60.0))
+    server.run()
+    env = ctx.engine.env
+
+    jobs = sorted(ctx.metrics.jobs)
+    finishes = [(job_id, ctx.metrics.jobs[job_id].start,
+                 ctx.metrics.jobs[job_id].end) for job_id in jobs]
+    paths = []
+    for job_id in jobs:
+        record = ctx.metrics.jobs[job_id]
+        if record.end != record.end:  # NaN: unfinished
+            continue
+        report = critical_path(ctx.metrics, job_id, engine=engine)
+        paths.append((job_id, report.attributable,
+                      [(s.start, s.end, s.kind, s.resource, s.machine_id,
+                        s.phase, s.span_id) for s in report.segments]))
+    return {
+        "events_scheduled": env.events_scheduled,
+        "final_time": env.now,
+        "finishes": finishes,
+        "paths": paths,
+    }
+
+
+class TestSameSeedSameRun:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_monospark_identical(self, seed):
+        assert run_stream("monospark", seed) == run_stream("monospark", seed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_spark_identical(self, seed):
+        assert run_stream("spark", seed) == run_stream("spark", seed)
+
+    def test_different_seeds_differ(self):
+        # Sanity check that the observables are sensitive at all: two
+        # different seeds must not collide on the full fingerprint.
+        assert run_stream("monospark", 0) != run_stream("monospark", 1)
