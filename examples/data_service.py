@@ -1,0 +1,95 @@
+"""The disaggregated data tier -- crash-proof shuffle, verified reads.
+
+With shuffle output co-located on compute machines (the default), a
+mid-job crash takes its map output with it and lineage re-executes the
+lost maps.  This example attaches a `DataService` -- dedicated storage
+nodes with 2x replication, write-behind caching, and CRC-checked reads
+-- and shows the same crash costing nothing.  Then it corrupts one
+stored replica and watches the checksum catch it: the read fails over
+to the good copy, the block re-replicates, and the storage node picks
+up an integrity suspicion in the health monitor.
+
+Run:  python examples/data_service.py
+"""
+
+from repro import AnalyticsContext, hdd_cluster
+from repro.datasvc import DataService
+from repro.faults import (BlockCorruption, FaultInjector, FaultPlan,
+                          MachineCrash)
+from repro.health import HealthMonitor
+
+CRASH_MACHINE = 1
+CORRUPT_NODE = 0
+NUM_NODES = 3
+REPLICATION = 2
+RECORDS = [f"w{i % 17} w{i % 11}" for i in range(4000)]
+
+
+def run(disaggregated, plan=None, health=False):
+    cluster = hdd_cluster(num_machines=4, seed=2)
+    service = None
+    options = {}
+    if disaggregated:
+        service = DataService(cluster, num_nodes=NUM_NODES,
+                              replication=REPLICATION)
+        options["datasvc"] = service
+    ctx = AnalyticsContext(cluster, engine="monospark", **options)
+    monitor = HealthMonitor(ctx.engine) if health else None
+    if plan is not None:
+        FaultInjector(ctx.engine, plan).start()
+    rdd = ctx.parallelize(RECORDS, num_partitions=8)
+    results = sorted(rdd.flat_map(lambda line: line.split())
+                        .map(lambda word: (word, 1))
+                        .reduce_by_key(lambda a, b: a + b)
+                        .collect())
+    return ctx, service, results, monitor
+
+
+def outcomes(ctx):
+    counts = ctx.metrics.attempt_outcome_counts(ctx.last_result.job_id)
+    return {kind: count for kind, count in sorted(counts.items()) if count}
+
+
+def main():
+    ctx, _, expected, _ = run(disaggregated=False)
+    map_end = min(s.end for s in
+                  ctx.metrics.stage_records(ctx.last_result.job_id))
+    crash_at = map_end * 1.02  # maps done, reduces mid-fetch
+    plan = FaultPlan([MachineCrash(at=crash_at, machine_id=CRASH_MACHINE,
+                                   restart_after=1.0)])
+
+    print("-- compute crash, co-located shuffle ".ljust(66, "-"))
+    ctx, _, results, _ = run(disaggregated=False, plan=plan)
+    assert results == expected
+    print(f"crash machine {CRASH_MACHINE} at {crash_at * 1000:.1f} ms: "
+          f"{outcomes(ctx)}")
+    print("the crash destroyed its map output; reducers fetch-failed and")
+    print("lineage re-executed the lost maps.\n")
+
+    print("-- the same crash, disaggregated shuffle ".ljust(66, "-"))
+    ctx, service, results, _ = run(disaggregated=True, plan=plan)
+    assert results == expected
+    print(f"crash machine {CRASH_MACHINE} at {crash_at * 1000:.1f} ms: "
+          f"{outcomes(ctx)}")
+    stats = service.stats()
+    print(f"map output lives on {NUM_NODES} storage nodes "
+          f"({REPLICATION}x replicated): {stats['puts']:g} puts, "
+          f"{stats['fetches']:g} fetches, zero lineage losses.\n")
+
+    print("-- corrupt a stored replica ".ljust(66, "-"))
+    plan = FaultPlan([BlockCorruption(at=crash_at * 0.3,
+                                      node_index=CORRUPT_NODE)])
+    ctx, service, results, monitor = run(disaggregated=True, plan=plan,
+                                         health=True)
+    assert results == expected
+    stats = service.stats()
+    print(f"checksum caught {stats['integrity_faults']:g} bad read(s); "
+          f"{stats['failovers']:g} failover(s), "
+          f"{stats['re_replications']:g} re-replication(s)")
+    print(f"health monitor integrity suspicions (by machine id): "
+          f"{monitor.integrity_suspicions}")
+    print("the job never saw the corruption -- same answer, same bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Track the repo's benchmark trajectories (stdlib only).
 
-Two benchmarks, selected with ``--bench``:
+Three benchmarks, selected with ``--bench``:
 
 * ``clarity`` (default) -- runs the seeded advisor-validation workload
   (``repro.clarity.validate.validate_advisor``) and writes a byte-stable
@@ -13,15 +13,21 @@ Two benchmarks, selected with ``--bench``:
   deterministic workload invariants, the current wall-clock throughput
   (best of ``--repeats``), and the frozen pre-optimization baseline
   carried forward so the speedup trajectory stays visible.
+* ``datasvc`` -- runs the seeded disaggregated-vs-co-located fault
+  scenarios (``repro.datasvc.bench``: compute crash mid-shuffle, block
+  corruption, storage-node crash, both engines) and writes
+  ``BENCH_datasvc.json``: attempt-outcome and data-tier counters that
+  pin the "a compute crash loses no map output" contrast.
 
 The committed copy at the repo root is the baseline; the CI
-clarity-bench / kernel-bench jobs regenerate the file and diff it
-against that baseline so regressions fail loudly instead of rotting
-silently.  For clarity, every numeric field must agree within
-``--tolerance``.  For kernel, the deterministic invariants must match
-*exactly* (same seed => same counts on any machine) and the measured
-monotasks/sec must clear the committed conservative floor; wall-clock
-fields themselves are machine-dependent and are not diffed.
+clarity-bench / kernel-bench / datasvc-bench jobs regenerate the file
+and diff it against that baseline so regressions fail loudly instead of
+rotting silently.  For clarity, every numeric field must agree within
+``--tolerance``.  For kernel and datasvc, the deterministic invariants
+must match *exactly* (same seed => same counts on any machine); the
+kernel bench additionally requires measured monotasks/sec to clear the
+committed conservative floor (wall-clock fields themselves are
+machine-dependent and are not diffed).
 
 Usage:
     python scripts/bench_trajectory.py [--bench clarity]
@@ -29,6 +35,8 @@ Usage:
         [--tolerance 0.02]
     python scripts/bench_trajectory.py --bench kernel
         [--output BENCH_kernel.json] [--check BASELINE] [--repeats 2]
+    python scripts/bench_trajectory.py --bench datasvc
+        [--output BENCH_datasvc.json] [--check BASELINE] [--repeats 2]
 
 Exit status 0 on match, 1 on drift or a failed acceptance gate.
 """
@@ -48,6 +56,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUTPUTS = {
     "clarity": os.path.join(_ROOT, "BENCH_clarity.json"),
     "kernel": os.path.join(_ROOT, "BENCH_kernel.json"),
+    "datasvc": os.path.join(_ROOT, "BENCH_datasvc.json"),
 }
 
 
@@ -163,12 +172,45 @@ def check_kernel(result: dict, baseline_path: str) -> int:
     return 0
 
 
+# -- datasvc ------------------------------------------------------------------
+
+
+def compute_datasvc(repeats: int) -> dict:
+    """The seeded fault scenarios, verified byte-stable across repeats."""
+    from repro.datasvc.bench import (DataSvcWorkload, run_datasvc_benchmark,
+                                     trajectory_summary)
+    workload = DataSvcWorkload()
+    invariants = run_datasvc_benchmark(workload, repeats=repeats)
+    return trajectory_summary(invariants, workload, repeats=repeats)
+
+
+def check_datasvc(result: dict, baseline_path: str) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section in ("workload", "invariants"):
+        ours = _numbers(section, result.get(section, {}))
+        theirs = _numbers(section, baseline.get(section, {}))
+        for path in sorted(set(ours) | set(theirs)):
+            if ours.get(path) != theirs.get(path):
+                failures.append(
+                    f"{path}: baseline {theirs.get(path)!r} vs current "
+                    f"{ours.get(path)!r} (must match exactly)")
+    if failures:
+        print(f"datasvc trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"datasvc trajectory matches {baseline_path} (exact)")
+    return 0
+
+
 # -- driver -------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", choices=("clarity", "kernel"),
+    parser.add_argument("--bench", choices=("clarity", "kernel", "datasvc"),
                         default="clarity",
                         help="which trajectory to run (default clarity)")
     parser.add_argument("--output", default=None,
@@ -181,10 +223,22 @@ def main(argv=None) -> int:
                         help="absolute per-field drift allowed under "
                              "--check for the clarity bench (default 0.02)")
     parser.add_argument("--repeats", type=int, default=2,
-                        help="kernel bench: repeats per measurement; the "
-                             "best wall-clock time is kept (default 2)")
+                        help="kernel bench: repeats per measurement (best "
+                             "wall-clock kept); datasvc bench: determinism "
+                             "cross-check repeats (default 2)")
     args = parser.parse_args(argv)
     output = args.output or DEFAULT_OUTPUTS[args.bench]
+
+    if args.bench == "datasvc":
+        result = compute_datasvc(args.repeats)
+        write(result, output)
+        mono = result["invariants"]["monospark"]
+        print(f"wrote {output}: co-located crash outcomes "
+              f"{mono['colocated_crash_outcomes']} vs disaggregated "
+              f"{mono['datasvc_crash_outcomes']}")
+        if args.check is not None:
+            return check_datasvc(result, args.check)
+        return 0
 
     if args.bench == "clarity":
         result = compute_clarity()

@@ -13,6 +13,7 @@ Examples::
     python -m repro serve --duration 300 --rate 0.1 --max-queued 8
     python -m repro clarity advise --duration 120 --rate 0.05
     python -m repro health --degrade-machine 1 --factor 10
+    python -m repro datasvc --nodes 3 --replication 2 --crash-machine 1
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
 additionally exercise the §6 performance-clarity machinery, ``serve``
@@ -202,6 +203,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="heartbeat/estimation interval in seconds")
     p.add_argument("--no-monitor", action="store_true",
                    help="run without the health monitor (for contrast)")
+
+    p = sub.add_parser("datasvc",
+                       help="disaggregated shuffle/storage data tier: "
+                            "crash and corruption contrast")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--nodes", type=int, default=3,
+                   help="dedicated storage nodes (default 3)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="replicas per stored block (default 2)")
+    p.add_argument("--records", type=int, default=4000,
+                   help="driver-side word-count records (default 4000)")
+    p.add_argument("--partitions", type=int, default=8)
+    p.add_argument("--crash-machine", type=int, default=1,
+                   help="compute machine crashed just after its maps "
+                        "finish")
+    p.add_argument("--restart-after", type=float, default=1.0)
+    p.add_argument("--corrupt-node", type=int, default=0,
+                   help="storage node whose replica gets a flipped "
+                        "checksum")
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -547,6 +568,89 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_datasvc(args) -> int:
+    from repro.datasvc import DataService
+    from repro.faults import (BlockCorruption, FaultInjector, FaultPlan,
+                              MachineCrash)
+
+    if args.nodes < 1:
+        print("--nodes must be at least 1")
+        return 2
+    if args.replication < 1:
+        print("--replication must be at least 1")
+        return 2
+    if not 0 <= args.crash_machine < args.machines:
+        print(f"--crash-machine must be in [0, {args.machines})")
+        return 2
+    if not 0 <= args.corrupt_node < args.nodes:
+        print(f"--corrupt-node must be in [0, {args.nodes})")
+        return 2
+    records = [f"w{i % 17} w{i % 11}" for i in range(args.records)]
+
+    def run_once(disaggregated, plan=None):
+        cluster = _make_cluster(args)
+        service = None
+        options = {}
+        if disaggregated:
+            service = DataService(cluster, num_nodes=args.nodes,
+                                  replication=args.replication)
+            options["datasvc"] = service
+        ctx = AnalyticsContext(cluster, engine=args.engine, **options)
+        if plan is not None:
+            FaultInjector(ctx.engine, plan).start()
+        rdd = ctx.parallelize(records, num_partitions=args.partitions)
+        (rdd.flat_map(lambda line: line.split())
+            .map(lambda word: (word, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect())
+        return ctx, service
+
+    def outcomes(ctx):
+        counts = ctx.metrics.attempt_outcome_counts(ctx.last_result.job_id)
+        return {kind: count for kind, count in sorted(counts.items())
+                if count}
+
+    ctx, _ = run_once(False)
+    baseline = ctx.last_result
+    crash_at = min(s.end for s in
+                   ctx.metrics.stage_records(baseline.job_id)) * 1.02
+    print(f"fault-free co-located: {format_seconds(baseline.duration)} "
+          f"simulated on {ctx.cluster.describe()}")
+    ctx, _ = run_once(True)
+    corrupt_at = min(s.end for s in
+                     ctx.metrics.stage_records(ctx.last_result.job_id)) * 0.9
+    print(f"fault-free disaggregated ({args.nodes} storage nodes, "
+          f"{args.replication}x replication): "
+          f"{format_seconds(ctx.last_result.duration)}")
+    print()
+
+    plan = FaultPlan([MachineCrash(at=crash_at,
+                                   machine_id=args.crash_machine,
+                                   restart_after=args.restart_after)])
+    ctx, _ = run_once(False, plan)
+    print(f"crash machine {args.crash_machine} at "
+          f"{format_seconds(crash_at)} (maps done, reduces fetching):")
+    print(f"  co-located:    {outcomes(ctx)} -- the crash took its map "
+          f"output with it")
+    ctx, service = run_once(True, plan)
+    crash_outcomes = outcomes(ctx)
+    print(f"  disaggregated: {crash_outcomes} -- map output lives on the "
+          f"data tier")
+
+    plan = FaultPlan([BlockCorruption(at=corrupt_at,
+                                      node_index=args.corrupt_node)])
+    ctx, service = run_once(True, plan)
+    stats = service.stats()
+    print()
+    print(f"corrupt a replica on storage node {args.corrupt_node}: "
+          f"{stats['integrity_faults']:g} integrity fault(s) detected, "
+          f"{stats['failovers']:g} failover(s), "
+          f"{stats['re_replications']:g} re-replication(s)")
+    for node, count in sorted(service.suspicion_counts().items()):
+        print(f"  storage node s{node}: {count} integrity suspicion(s)")
+    return 0 if not crash_outcomes.get("fetch-failed") else 3
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -587,6 +691,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "clarity": _cmd_clarity,
     "health": _cmd_health,
+    "datasvc": _cmd_datasvc,
     "reproduce": _cmd_reproduce,
 }
 

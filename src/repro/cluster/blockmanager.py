@@ -15,6 +15,7 @@ from repro.cluster.cluster import Cluster
 from repro.datamodel.records import Partition
 from repro.datamodel.serialization import DataFormat
 from repro.errors import ExecutionError
+from repro.metrics.events import FaultEventRecord
 
 __all__ = ["BlockManager"]
 
@@ -26,6 +27,13 @@ class BlockManager:
         self.cluster = cluster
         self._blocks: Dict[Tuple[int, int],
                            Tuple[int, Partition, DataFormat]] = {}
+        #: Optional MetricsCollector (attached by the engine): machine
+        #: invalidations are recorded as fault events so cache loss is
+        #: attributable in the clarity pipeline instead of silent.
+        self.metrics = None
+        #: Cumulative loss counters, exposed as telemetry by the engine.
+        self.invalidated_partitions = 0
+        self.invalidated_bytes = 0.0
 
     def has(self, rdd_id: int, partition_index: int) -> bool:
         """True if the partition is cached somewhere."""
@@ -67,10 +75,23 @@ class BlockManager:
         """
         keys = [key for key, (machine, _, _) in self._blocks.items()
                 if machine == machine_id]
+        lost_bytes = 0.0
         for key in keys:
             _, partition, _ = self._blocks.pop(key)
+            lost_bytes += partition.data_bytes
             self.cluster.machine(machine_id).memory.release(
                 partition.data_bytes)
+        if keys:
+            self.invalidated_partitions += len(keys)
+            self.invalidated_bytes += lost_bytes
+            if self.metrics is not None:
+                # Attributable cache loss: lands in the fault event
+                # stream (and the trace) instead of vanishing silently.
+                self.metrics.record_fault(FaultEventRecord(
+                    kind="cache-invalidation", machine_id=machine_id,
+                    at=self.cluster.env.now,
+                    detail=f"{len(keys)} cached partitions "
+                           f"({lost_bytes:.0f} bytes) lost"))
         return len(keys)
 
     def evict_rdd(self, rdd_id: int) -> int:

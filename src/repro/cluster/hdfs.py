@@ -79,13 +79,40 @@ class Dfs:
         self.block_bytes = block_bytes
         self._files: Dict[str, DfsFile] = {}
         self._placement_cursor = 0
+        self._exclusion_provider = None
+
+    def set_exclusion_provider(self, provider) -> None:
+        """Register a zero-arg callable returning machine ids that must
+        not receive new replicas (dead or health-excluded machines).
+
+        Wired up by the engine so DFS placement agrees with the task
+        pool's exclusion-aware scheduling: a blacklisted machine should
+        not be handed fresh replicas any more than fresh tasks.
+        """
+        self._exclusion_provider = provider
+
+    def _excluded_machines(self) -> set:
+        if self._exclusion_provider is None:
+            return set()
+        return set(self._exclusion_provider())
 
     def _place_block(self) -> List[Tuple[int, int]]:
+        """Round-robin placement over the non-excluded machines.
+
+        Falls back to the full machine set when exclusions leave fewer
+        machines than replicas need -- degraded placement beats failing
+        the write.  The cursor advances once per block either way, so
+        the same exclusion state always yields the same placement.
+        """
+        excluded = self._excluded_machines()
+        eligible = [m for m in range(self.num_machines) if m not in excluded]
+        if len(eligible) < self.replication:
+            eligible = list(range(self.num_machines))
         replicas = []
         for r in range(self.replication):
-            machine = (self._placement_cursor + r) % self.num_machines
-            disk = ((self._placement_cursor + r)
-                    // self.num_machines) % self.disks_per_machine
+            slot = self._placement_cursor + r
+            machine = eligible[slot % len(eligible)]
+            disk = (slot // len(eligible)) % self.disks_per_machine
             replicas.append((machine, disk))
         self._placement_cursor += 1
         return replicas

@@ -155,6 +155,17 @@ class MapOutputRegistry:
                     lost.append((shuffle_id, map_index))
         return lost
 
+    def invalidate_map(self, shuffle_id: int, map_index: int) -> bool:
+        """Drop one map task's registered output (all replicas of its
+        block were lost, e.g. in the data service).  Returns True when
+        an entry existed; the engine's fetch-failed path then
+        re-executes exactly this map from lineage."""
+        locations = self._locations.get(shuffle_id)
+        if locations is None or map_index not in locations:
+            return False
+        self._drop_map(shuffle_id, map_index)
+        return True
+
     def _drop_map(self, shuffle_id: int, map_index: int) -> None:
         self._locations[shuffle_id].pop(map_index, None)
         per_reduce = self._buckets.get(shuffle_id, {})

@@ -1,0 +1,14 @@
+"""The disaggregated data tier: replicated, checksummed block service.
+
+See :mod:`repro.datasvc.service` for the service itself and
+``docs/datasvc.md`` for the architecture story.
+"""
+
+from repro.datasvc.monotasks import (DataSvcFetchMonotask, DataSvcMonotask,
+                                     DataSvcPutMonotask)
+from repro.datasvc.service import (DataService, Replica, StorageNode,
+                                   StoredBlock, block_checksum)
+
+__all__ = ["DataService", "StorageNode", "StoredBlock", "Replica",
+           "block_checksum", "DataSvcMonotask", "DataSvcPutMonotask",
+           "DataSvcFetchMonotask"]

@@ -1,0 +1,110 @@
+"""Client-side monotasks that talk to the :class:`DataService`.
+
+When the data service is enabled, ``decompose`` swaps the local
+shuffle-write disk monotask for a :class:`DataSvcPutMonotask` and the
+shuffle-fetch group for a :class:`DataSvcFetchMonotask`.  Both occupy
+the *network* resource on the compute worker (the data never touches
+local disk); the service runs the storage-side disk monotasks on its own
+nodes' schedulers, so the data tier's contention stays attributable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.metrics.events import NETWORK
+from repro.monospark.monotask import Monotask
+
+if TYPE_CHECKING:
+    from repro.datasvc.service import DataService
+    from repro.monospark.worker import MonoWorker
+
+__all__ = ["DataSvcMonotask", "DataSvcPutMonotask", "DataSvcFetchMonotask"]
+
+
+class DataSvcMonotask(Monotask):
+    """Base for client calls into the data service (network resource)."""
+
+    resource = NETWORK
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int],
+                 service: "DataService") -> None:
+        super().__init__(worker, phase, task_id_fields)
+        self.service = service
+        #: Kept for Decomposition.output_disk: service writes never
+        #: land on a *local* disk.
+        self.disk_index: Optional[int] = None
+
+
+class DataSvcPutMonotask(DataSvcMonotask):
+    """Stream a map task's shuffle buckets (or a DFS block) out."""
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int],
+                 service: "DataService", shuffle_id: Optional[int] = None,
+                 map_index: Optional[int] = None,
+                 buckets: Optional[Dict[int, float]] = None,
+                 block_id: Optional[str] = None, nbytes: float = 0.0,
+                 payload: object = None) -> None:
+        super().__init__(worker, phase, task_id_fields, service)
+        self.shuffle_id = shuffle_id
+        self.map_index = map_index
+        self.buckets = buckets or {}
+        self.block_id = block_id
+        self.nbytes = (float(nbytes) if block_id is not None
+                       else float(sum(self.buckets.values())))
+        self.payload = payload
+        #: Fabric machine id of the primary replica, set on completion;
+        #: the engine registers map output under this id.
+        self.primary_machine_id: Optional[int] = None
+
+    def execute(self):
+        ids = (self.job_id, self.stage_id, self.task_index)
+        src = self.worker.machine.machine_id
+        if self.block_id is not None:
+            self.primary_machine_id = yield from self.service.write_block(
+                src, self.block_id, self.nbytes, ids, payload=self.payload)
+        else:
+            self.primary_machine_id = yield from self.service.put_map_output(
+                src, self.shuffle_id, self.map_index, self.buckets, ids,
+                payload=self.payload)
+
+    def record(self) -> None:
+        """Report the bytes streamed to the data tier."""
+        self.worker.engine.metrics.record_monotask(
+            self.base_record(NETWORK, nbytes=self.nbytes),
+            trace=self.trace, span_id=self.span_id)
+
+
+class DataSvcFetchMonotask(DataSvcMonotask):
+    """Fetch shuffle buckets (or a DFS block) from the service."""
+
+    def __init__(self, worker: "MonoWorker", phase: str,
+                 task_id_fields: Tuple[int, int, int],
+                 service: "DataService",
+                 requests: List[Tuple[str, float]],
+                 dfs_block: bool = False) -> None:
+        super().__init__(worker, phase, task_id_fields, service)
+        self.requests = requests
+        self.dfs_block = dfs_block
+        self.total_bytes = sum(nbytes for _, nbytes in requests)
+
+    def execute(self):
+        ids = (self.job_id, self.stage_id, self.task_index)
+        dst = self.worker.machine.machine_id
+        if self.dfs_block:
+            for block_id, nbytes in self.requests:
+                yield from self.service.read_block(
+                    dst, block_id, nbytes, ids,
+                    trace=self.trace, span_id=self.span_id)
+        else:
+            yield from self.service.fetch_shuffle(
+                dst, self.requests, ids,
+                trace=self.trace, span_id=self.span_id)
+
+    def record(self) -> None:
+        """Report the bytes received from the data tier."""
+        self.worker.engine.metrics.record_monotask(
+            self.base_record(NETWORK, nbytes=self.total_bytes),
+            trace=self.trace, span_id=self.span_id)

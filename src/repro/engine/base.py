@@ -543,13 +543,15 @@ class BaseEngine:
                  cost_model: Optional[CostModel] = None,
                  metrics: Optional[MetricsCollector] = None,
                  scheduling_policy: str = "fifo",
-                 recovery: Optional[RecoveryPolicy] = None) -> None:
+                 recovery: Optional[RecoveryPolicy] = None,
+                 datasvc=None) -> None:
         self.cluster = cluster
         self.env = cluster.env
         self.cost = cost_model or CostModel()
         self.metrics = metrics or MetricsCollector()
         self.recovery = recovery or RecoveryPolicy()
         self.block_manager = BlockManager(cluster)
+        self.block_manager.metrics = self.metrics
         self.map_outputs = MapOutputRegistry()
         #: (job_id, stage_id, task_index) -> collected records / count.
         self._task_outputs: Dict[Tuple[int, int, int], Any] = {}
@@ -562,6 +564,15 @@ class BaseEngine:
         self._recovering: Dict[int, Event] = {}
         self._dead_machines: Set[int] = set()
         self._excluded_machines: Set[int] = set()
+        #: Optional disaggregated data tier (:mod:`repro.datasvc`): when
+        #: set, shuffle output and DFS output blocks live on dedicated
+        #: storage nodes instead of worker-local disks.
+        self.datasvc = datasvc
+        if datasvc is not None:
+            datasvc.attach_engine(self)
+        # New DFS replicas avoid the machines the scheduler avoids.
+        cluster.dfs.set_exclusion_provider(
+            lambda: self._dead_machines | self._excluded_machines)
         self.pool = TaskPool(
             self.env, cluster.machines,
             {m.machine_id: self.concurrency_for(m) for m in cluster.machines},
@@ -636,6 +647,13 @@ class BaseEngine:
                 "Buffer-cache bytes not yet flushed to disk",
                 lambda c=machine.cache: c.dirty_bytes,
                 engine=self.name, machine=machine_id)
+        telemetry.counter(
+            "repro_cache_invalidated_partitions",
+            "Cached RDD partitions lost to machine invalidation",
+            lambda: float(self.block_manager.invalidated_partitions),
+            engine=self.name)
+        if self.datasvc is not None:
+            self.datasvc.register_telemetry(telemetry)
 
     # -- public API ---------------------------------------------------------------
 
@@ -1000,6 +1018,19 @@ class BaseEngine:
         if not isinstance(payload, Partition):
             raise ExecutionError(
                 f"DFS block {block.block_id} has no partition payload")
+        svc = self.datasvc
+        if svc is not None and any(svc.owns_machine(m)
+                                   for m, _d in block.replicas):
+            # The block lives in the data tier; the service picks and
+            # verifies a replica at read time (with failover), so the
+            # resolved location is just a routing hint.
+            primary = svc.primary_machine_id(block.block_id)
+            if primary is None:
+                raise FaultError(
+                    f"no live replica of DFS block {block.block_id}")
+            return ResolvedInput(
+                partition=payload, stored_bytes=block.nbytes, fmt=spec.fmt,
+                machine_id=primary, disk_index=None)
         live = [(m, d) for (m, d) in block.replicas
                 if m not in self._dead_machines
                 and not self.cluster.machine(m).disks[d].dead]
@@ -1028,8 +1059,17 @@ class BaseEngine:
         output = work.descriptor.output
         if not isinstance(output, ShuffleOutput):
             raise ExecutionError("task has no shuffle output")
+        machine_id = machine.machine_id
+        if self.datasvc is not None and not output.in_memory:
+            # The data service owns the buckets: register them under the
+            # primary storage node, so a *compute* crash invalidates no
+            # map output (disaggregation's fault-isolation win).
+            primary = self.datasvc.primary_machine_id(
+                f"shuffle{output.shuffle_id}-m{work.descriptor.index}")
+            if primary is not None:
+                machine_id, disk_index = primary, None
         self.map_outputs.register_map_output(
-            output.shuffle_id, work.descriptor.index, machine.machine_id,
+            output.shuffle_id, work.descriptor.index, machine_id,
             disk_index, work.shuffle_buckets or {})
 
     def register_dfs_output(self, work: TaskWork, machine: Machine,
@@ -1038,10 +1078,23 @@ class BaseEngine:
         output = work.descriptor.output
         if not isinstance(output, DfsOutput):
             raise ExecutionError("task has no DFS output")
+        payload = work.output_partition if output.keep_payload else None
+        svc = self.datasvc
+        if svc is not None:
+            # The block was streamed to the service under a provisional
+            # id during execution; commit renames it to its final block
+            # id and records the primary storage node as the replica.
+            provisional = f"dfsout:{work.descriptor.task_id}"
+            primary = svc.primary_machine_id(provisional)
+            if primary is not None:
+                block = self.cluster.dfs.append_output_block(
+                    output.file_name, work.output_stored_bytes, primary, 0,
+                    payload=payload)
+                svc.alias_block(provisional, block.block_id)
+                return
         self.cluster.dfs.append_output_block(
             output.file_name, work.output_stored_bytes, machine.machine_id,
-            disk_index,
-            payload=work.output_partition if output.keep_payload else None)
+            disk_index, payload=payload)
 
     # -- result assembly -----------------------------------------------------------------
 

@@ -9,13 +9,15 @@ produces the same trace, injected faults included.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import (DiskFault, FaultPlan, LinkPartition,
-                               MachineCrash, NetworkDegradation,
+from repro.faults.plan import (BlockCorruption, DiskFault, FaultPlan,
+                               LinkPartition, MachineCrash,
+                               NetworkDegradation, StorageNodeCrash,
                                TransientSlowdown, fail_slow_plan,
                                random_plan)
 from repro.faults.policy import RecoveryPolicy
 
 __all__ = [
+    "BlockCorruption",
     "DiskFault",
     "FaultInjector",
     "FaultPlan",
@@ -23,6 +25,7 @@ __all__ = [
     "MachineCrash",
     "NetworkDegradation",
     "RecoveryPolicy",
+    "StorageNodeCrash",
     "TransientSlowdown",
     "fail_slow_plan",
     "random_plan",

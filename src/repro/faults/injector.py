@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.faults.plan import (DiskFault, FaultPlan, LinkPartition,
-                               MachineCrash, NetworkDegradation,
+from repro.faults.plan import (BlockCorruption, DiskFault, FaultPlan,
+                               LinkPartition, MachineCrash,
+                               NetworkDegradation, StorageNodeCrash,
                                TransientSlowdown)
 from repro.metrics.events import FaultEventRecord
 
@@ -101,6 +102,62 @@ class FaultInjector:
                                     f"{killed} flows killed, {heal}")
                 if fault.heal_after is not None:
                     self.env.process(self._heal(fault))
+            elif isinstance(fault, StorageNodeCrash):
+                service = self._service(fault)
+                if service is None:
+                    continue
+                if service.nodes[fault.node_index].down:
+                    self._record(
+                        "storage-crash-skipped",
+                        service.node_machine_id(fault.node_index),
+                        detail="target down")
+                    continue
+                service.crash_node(fault.node_index)
+                self._record("storage-crash",
+                             service.node_machine_id(fault.node_index),
+                             detail=f"storage node {fault.node_index}")
+                if fault.restart_after is not None:
+                    self.env.process(self._restart_node(fault, service))
+            elif isinstance(fault, BlockCorruption):
+                service = self._service(fault)
+                if service is None:
+                    continue
+                block_id = service.corrupt_block(fault.node_index,
+                                                 fault.block_seq)
+                machine_id = service.node_machine_id(fault.node_index)
+                if not block_id:
+                    self._record("block-corruption-skipped", machine_id,
+                                 detail="no blocks held")
+                    continue
+                self._record("block-corruption", machine_id,
+                             detail=f"block {block_id} on storage "
+                                    f"node {fault.node_index}")
+
+    def _service(self, fault) -> object:
+        """The engine's data service, or None (recorded as skipped)."""
+        service = getattr(self.engine, "datasvc", None)
+        if service is None:
+            self._record(f"{self._storage_kind(fault)}-skipped", -1,
+                         detail="no data service")
+            return None
+        if not (0 <= fault.node_index < service.num_nodes):
+            self._record(f"{self._storage_kind(fault)}-skipped", -1,
+                         detail=f"no storage node {fault.node_index}")
+            return None
+        return service
+
+    @staticmethod
+    def _storage_kind(fault) -> str:
+        return ("storage-crash" if isinstance(fault, StorageNodeCrash)
+                else "block-corruption")
+
+    def _restart_node(self, fault: StorageNodeCrash,
+                      service) -> Generator:
+        yield self.env.timeout(fault.restart_after)
+        service.restart_node(fault.node_index)
+        self._record("storage-restart",
+                     service.node_machine_id(fault.node_index),
+                     detail=f"storage node {fault.node_index}")
 
     def _restart(self, fault: MachineCrash) -> Generator:
         yield self.env.timeout(fault.restart_after)

@@ -16,8 +16,8 @@ from repro.errors import PlanError
 from repro.simulator.rng import RngStreams
 
 __all__ = ["MachineCrash", "DiskFault", "TransientSlowdown",
-           "NetworkDegradation", "LinkPartition", "FaultPlan",
-           "random_plan", "fail_slow_plan"]
+           "NetworkDegradation", "LinkPartition", "StorageNodeCrash",
+           "BlockCorruption", "FaultPlan", "random_plan", "fail_slow_plan"]
 
 
 @dataclass(frozen=True)
@@ -91,16 +91,46 @@ class LinkPartition:
     heal_after: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class StorageNodeCrash:
+    """A data-service storage node crashes at ``at``: its write-behind
+    window (memory) is lost, disk replicas survive, and reads fail over
+    to other replicas -- lineage-free recovery.  ``node_index`` is the
+    storage node's index within the service (not a fabric machine id);
+    optionally restarts ``restart_after`` seconds later."""
+
+    at: float
+    node_index: int
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BlockCorruption:
+    """One replica held on storage node ``node_index`` is silently
+    corrupted (its stored checksum no longer matches the block's).  The
+    corruption surfaces at the next read as a verifiable integrity
+    fault.  ``block_seq`` selects which of the node's blocks (sorted by
+    block id) is hit, for deterministic plans."""
+
+    at: float
+    node_index: int
+    block_seq: int = 0
+
+
 Fault = Union[MachineCrash, DiskFault, TransientSlowdown,
-              NetworkDegradation, LinkPartition]
+              NetworkDegradation, LinkPartition, StorageNodeCrash,
+              BlockCorruption]
 
 _KIND_ORDER = {MachineCrash: 0, DiskFault: 1, TransientSlowdown: 2,
-               NetworkDegradation: 3, LinkPartition: 4}
+               NetworkDegradation: 3, LinkPartition: 4,
+               StorageNodeCrash: 5, BlockCorruption: 6}
 
 
 def _sort_ids(fault: Fault) -> tuple:
     if isinstance(fault, LinkPartition):
         return (fault.src_machine_id, fault.dst_machine_id)
+    if isinstance(fault, (StorageNodeCrash, BlockCorruption)):
+        return (fault.node_index, -1)
     return (fault.machine_id, -1)
 
 
@@ -118,6 +148,16 @@ class FaultPlan:
     def _validate(fault: Fault) -> None:
         if not (fault.at >= 0) or fault.at == float("inf"):
             raise PlanError(f"fault time must be finite and >= 0: {fault!r}")
+        if isinstance(fault, (StorageNodeCrash, BlockCorruption)):
+            if fault.node_index < 0:
+                raise PlanError(f"node_index must be >= 0: {fault!r}")
+            if isinstance(fault, StorageNodeCrash) and \
+                    fault.restart_after is not None and \
+                    not (fault.restart_after > 0):
+                raise PlanError(f"restart_after must be > 0: {fault!r}")
+            if isinstance(fault, BlockCorruption) and fault.block_seq < 0:
+                raise PlanError(f"block_seq must be >= 0: {fault!r}")
+            return
         if not isinstance(fault, LinkPartition) and fault.machine_id < 0:
             raise PlanError(f"machine_id must be >= 0: {fault!r}")
         if isinstance(fault, MachineCrash):

@@ -43,6 +43,15 @@ class HealthMonitor:
         self.blacklist = Blacklist(self.policy)
         self._machine_ids = sorted(
             m.machine_id for m in engine.cluster.machines)
+        #: machine_id -> count of verified integrity faults (checksum
+        #: mismatches the data service attributed to the machine).
+        #: Storage-node ids appear here too; they are never driven
+        #: through the engine's exclusion entry points (the data service
+        #: handles its own replica placement exclusions).
+        self.integrity_suspicions: Dict[int, int] = {}
+        datasvc = getattr(engine, "datasvc", None)
+        if datasvc is not None:
+            datasvc.attach_health(self)
         self._last_counts: Dict[int, int] = {}
         self._missed: set = set()
         self._stopped = False
@@ -100,6 +109,20 @@ class HealthMonitor:
         self.metrics.record_health(HealthEventRecord(
             kind=kind, machine_id=machine_id, at=self.env.now,
             resource=resource, relative_rate=relative_rate, detail=detail))
+
+    def report_integrity_fault(self, machine_id: int,
+                               detail: str = "") -> None:
+        """A verified data fault (checksum mismatch) on ``machine_id``.
+
+        Called by the data service when a read fails verification: the
+        fault lands in the health event stream and bumps the machine's
+        suspicion counter.  No exclusion is driven from here -- the
+        service excludes its own nodes from placement, and compute
+        exclusion stays rate-based."""
+        self.integrity_suspicions[machine_id] = \
+            self.integrity_suspicions.get(machine_id, 0) + 1
+        self._record("integrity-fault", machine_id, resource="disk",
+                     detail=detail)
 
     def _tick(self) -> None:
         engine = self.engine

@@ -38,6 +38,10 @@ __all__ = [
     "PHASE_COMPUTE",
     "PHASE_SETUP",
     "PHASE_CLEANUP",
+    "PHASE_DATASVC_WRITE",
+    "PHASE_DATASVC_READ",
+    "PHASE_DATASVC_DRAIN",
+    "PHASE_DATASVC_REPLICATE",
 ]
 
 CPU = "cpu"
@@ -52,6 +56,12 @@ PHASE_SHUFFLE_SERVE = "shuffle_serve"
 PHASE_COMPUTE = "compute"
 PHASE_SETUP = "setup"
 PHASE_CLEANUP = "cleanup"
+#: Data-service phases: client-side writes/reads against the data tier
+#: and storage-node-side write-behind drains / replica copies.
+PHASE_DATASVC_WRITE = "datasvc_write"
+PHASE_DATASVC_READ = "datasvc_read"
+PHASE_DATASVC_DRAIN = "datasvc_drain"
+PHASE_DATASVC_REPLICATE = "datasvc_replicate"
 
 
 @dataclass(slots=True)

@@ -21,9 +21,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.api.plan import (CachedInput, CollectOutput, DfsInput, DfsOutput,
                             LocalInput, ShuffleInput, ShuffleOutput)
+from repro.datasvc.monotasks import (DataSvcFetchMonotask,
+                                     DataSvcPutMonotask)
 from repro.engine.semantics import TaskWork
 from repro.errors import ExecutionError
 from repro.metrics.events import (PHASE_CLEANUP, PHASE_COMPUTE,
+                                  PHASE_DATASVC_READ, PHASE_DATASVC_WRITE,
                                   PHASE_INPUT_READ, PHASE_OUTPUT_WRITE,
                                   PHASE_SETUP, PHASE_SHUFFLE_READ,
                                   PHASE_SHUFFLE_WRITE)
@@ -116,6 +119,16 @@ def _input_monotasks(worker: MonoWorker, work: TaskWork,
 
     if isinstance(spec, DfsInput):
         source = work.inputs[0]
+        svc = worker.engine.datasvc
+        if svc is not None and source.machine_id is not None \
+                and svc.owns_machine(source.machine_id):
+            # The block lives in the data tier: one service read replaces
+            # the remote disk read + fetch (the service runs both on its
+            # own schedulers, with checksum verification and failover).
+            return [DataSvcFetchMonotask(
+                worker, PHASE_DATASVC_READ, ids, svc,
+                [(spec.block.block_id, source.stored_bytes)],
+                dfs_block=True)]
         if source.machine_id == machine.machine_id:
             return [DiskMonotask(worker, PHASE_INPUT_READ, ids,
                                  disk_index=source.disk_index,
@@ -132,12 +145,21 @@ def _input_monotasks(worker: MonoWorker, work: TaskWork,
         # "create a disk read monotask to read all of the requested
         # shuffle data into memory"), so tiny per-map buckets coalesce
         # into one sequential read per (machine, disk).
+        svc = worker.engine.datasvc
         monotasks: List[Monotask] = []
         remote_bytes: Dict[Tuple[int, Optional[int]], float] = defaultdict(
             float)
         local_disk_bytes: Dict[int, float] = defaultdict(float)
+        datasvc_requests: List[Tuple[str, float]] = []
         for source in work.inputs:
             if source.stored_bytes <= 0:
+                continue
+            if svc is not None and source.machine_id is not None \
+                    and svc.owns_machine(source.machine_id):
+                # Buckets owned by the data tier: fetched through the
+                # service (which coalesces per map-output block).
+                datasvc_requests.append(
+                    (source.block_id, source.stored_bytes))
                 continue
             local = source.machine_id == machine.machine_id
             if local:
@@ -163,6 +185,10 @@ def _input_monotasks(worker: MonoWorker, work: TaskWork,
             ]
             monotasks.append(NetworkFetchMonotask(
                 worker, PHASE_SHUFFLE_READ, ids, sources))
+        if datasvc_requests:
+            monotasks.append(DataSvcFetchMonotask(
+                worker, PHASE_DATASVC_READ, ids, svc,
+                sorted(datasvc_requests)))
         return monotasks
 
     raise ExecutionError(f"cannot decompose input spec: {spec!r}")
@@ -174,15 +200,38 @@ def _output_monotask(worker: MonoWorker, work: TaskWork,
     (``disk_index=None``) so the §8 shortest-queue policy sees real
     load."""
     output = work.descriptor.output
+    svc = worker.engine.datasvc
 
     if isinstance(output, ShuffleOutput):
-        if output.in_memory or work.output_stored_bytes <= 0:
+        if output.in_memory:
+            return None
+        if svc is not None:
+            # Disaggregated shuffle: stream the buckets to the data
+            # service instead of the local disk (even empty maps, so the
+            # registry's lineage index stays off the compute tier).
+            buckets = {
+                reduce_index: output.fmt.stored_bytes(partition.data_bytes)
+                for reduce_index, partition
+                in (work.shuffle_buckets or {}).items()
+            }
+            return DataSvcPutMonotask(
+                worker, PHASE_DATASVC_WRITE, ids, svc,
+                shuffle_id=output.shuffle_id,
+                map_index=work.descriptor.index, buckets=buckets)
+        if work.output_stored_bytes <= 0:
             return None
         return DiskMonotask(worker, PHASE_SHUFFLE_WRITE, ids,
                             disk_index=None,
                             nbytes=work.output_stored_bytes, kind="write")
 
     if isinstance(output, DfsOutput):
+        if svc is not None:
+            return DataSvcPutMonotask(
+                worker, PHASE_DATASVC_WRITE, ids, svc,
+                block_id=f"dfsout:{work.descriptor.task_id}",
+                nbytes=work.output_stored_bytes,
+                payload=(work.output_partition
+                         if output.keep_payload else None))
         if work.output_stored_bytes <= 0:
             return None
         return DiskMonotask(worker, PHASE_OUTPUT_WRITE, ids,

@@ -62,7 +62,8 @@ class MonoSparkEngine(BaseEngine):
                  prioritize_writes_under_memory_pressure: bool = False,
                  memory_pressure_fraction: float = 0.8,
                  scheduling_policy: str = "fifo",
-                 recovery=None) -> None:
+                 recovery=None,
+                 datasvc=None) -> None:
         if ssd_outstanding < 1 or hdd_outstanding < 1:
             raise ConfigError("disk scheduler concurrency must be >= 1")
         if network_limit < 1:
@@ -87,7 +88,7 @@ class MonoSparkEngine(BaseEngine):
         self.workers: Dict[int, MonoWorker] = {}
         super().__init__(cluster, cost_model=cost_model, metrics=metrics,
                          scheduling_policy=scheduling_policy,
-                         recovery=recovery)
+                         recovery=recovery, datasvc=datasvc)
         for machine in cluster.machines:
             self.workers[machine.machine_id] = MonoWorker(self, machine)
 

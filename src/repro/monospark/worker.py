@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.cluster.machine import Machine
+from repro.datasvc.monotasks import DataSvcMonotask
 from repro.errors import SimulationError
 from repro.metrics.events import CPU, DISK, NETWORK
 from repro.monospark.localdag import LocalDagScheduler
@@ -69,7 +70,10 @@ class MonoWorker:
                 # actually ready, so queue lengths reflect real load.
                 monotask.disk_index = self.pick_output_disk()
             self.disk_schedulers[monotask.disk_index].submit(monotask)
-        elif isinstance(monotask, NetworkFetchMonotask):
+        elif isinstance(monotask, (NetworkFetchMonotask, DataSvcMonotask)):
+            # Data-service puts/fetches occupy the network resource on
+            # the compute side; storage-side disk work runs on the
+            # service's own schedulers.
             self.network_scheduler.submit(monotask)
         else:
             raise SimulationError(f"unroutable monotask: {monotask!r}")

@@ -71,18 +71,25 @@ class CostEstimator:
         measured = self._measured.get(template)
         if measured is None:
             return None
+        estimate = measured
         profiles = self._profiles.get(template)
         usable = self.engine.schedulable_machine_count
-        if profiles is None or usable == self.hardware.num_machines \
-                or usable == 0:
-            return measured
-        # The model re-prices the job on the machines it can actually be
-        # placed on -- alive and not excluded by the health monitor --
-        # only possible because monotask profiles separate the job's
-        # resource demand from the hardware it ran on.
-        degraded = WhatIf(hardware=self.hardware.scaled(machines=usable))
-        return predict(profiles, measured, self.hardware,
-                       degraded).predicted_s
+        if profiles is not None and usable != 0 \
+                and usable != self.hardware.num_machines:
+            # The model re-prices the job on the machines it can actually
+            # be placed on -- alive and not excluded by the health monitor
+            # -- only possible because monotask profiles separate the
+            # job's resource demand from the hardware it ran on.
+            degraded = WhatIf(hardware=self.hardware.scaled(machines=usable))
+            estimate = predict(profiles, measured, self.hardware,
+                               degraded).predicted_s
+        # With a disaggregated data tier, lost storage nodes concentrate
+        # reads/writes on the survivors; scale the estimate by the lost
+        # service fraction (coarse but directionally honest pricing).
+        svc = getattr(self.engine, "datasvc", None)
+        if svc is not None and 0 < svc.live_node_count < svc.num_nodes:
+            estimate *= svc.num_nodes / svc.live_node_count
+        return estimate
 
 
 @dataclass(frozen=True)

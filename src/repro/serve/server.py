@@ -251,6 +251,9 @@ class JobServer:
             report.attach_telemetry(self.telemetry.registry)
         if self.clarity is not None:
             report.attach_clarity(self.clarity)
+        datasvc = getattr(self.engine, "datasvc", None)
+        if datasvc is not None:
+            report.attach_datasvc(datasvc)
         return report
 
     def _source(self, tenant: str, template: JobTemplate, arrivals,

@@ -128,6 +128,11 @@ class ServeReport:
     #: Optional ranked capacity advice
     #: (:class:`~repro.clarity.advisor.AdvisorReport`).
     advice: Optional[object] = None
+    #: Data-tier counters (:meth:`~repro.datasvc.DataService.stats`);
+    #: filled by runs with a data service attached.
+    datasvc_stats: Dict[str, float] = field(default_factory=dict)
+    #: Storage-node index -> integrity suspicion count.
+    datasvc_suspicions: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
@@ -182,6 +187,11 @@ class ServeReport:
         self.clarity = aggregator.bottleneck()
         if advisor is not None:
             self.advice = advisor.advise(aggregator.observations())
+
+    def attach_datasvc(self, service) -> None:
+        """Fold a :class:`~repro.datasvc.DataService`'s counters in."""
+        self.datasvc_stats = service.stats()
+        self.datasvc_suspicions = service.suspicion_counts()
 
     @property
     def total_shed(self) -> int:
@@ -259,6 +269,22 @@ class ServeReport:
             lines.append(self.clarity.format())
         if self.advice is not None:
             lines.append(self.advice.format())
+        if self.datasvc_stats:
+            svc_rows = [[name, f"{value:g}"]
+                        for name, value in sorted(
+                            self.datasvc_stats.items())]
+            lines.append(format_table(
+                ["counter", "value"], svc_rows,
+                title="Data service (disaggregated shuffle/storage)"))
+            if self.datasvc_suspicions:
+                suspicion_rows = [
+                    [f"s{node}", str(count)]
+                    for node, count in sorted(
+                        self.datasvc_suspicions.items())]
+                lines.append(format_table(
+                    ["storage node", "integrity suspicions"],
+                    suspicion_rows,
+                    title="Data-tier integrity suspicions"))
         return "\n\n".join(lines)
 
     def _attribution_section(self) -> str:

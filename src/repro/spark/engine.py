@@ -41,7 +41,8 @@ class SparkEngine(BaseEngine):
                  readahead_depth: int = 2,
                  fetch_inflight: int = 5,
                  scheduling_policy: str = "fifo",
-                 recovery=None) -> None:
+                 recovery=None,
+                 datasvc=None) -> None:
         if slots_per_machine is not None and slots_per_machine < 1:
             raise ConfigError(f"slots must be >= 1: {slots_per_machine}")
         if chunk_bytes <= 0:
@@ -55,7 +56,7 @@ class SparkEngine(BaseEngine):
         self.fetch_inflight = fetch_inflight
         super().__init__(cluster, cost_model=cost_model, metrics=metrics,
                          scheduling_policy=scheduling_policy,
-                         recovery=recovery)
+                         recovery=recovery, datasvc=datasvc)
 
     def concurrency_for(self, machine: Machine) -> int:
         if self.slots_per_machine is not None:

@@ -111,6 +111,7 @@ class SparkTaskRun:
                     f"{work.descriptor.task_id}:out:{unit.index}")
 
         yield from self._write_shuffle_buckets(out_disk)
+        yield from self._write_dfs_block()
         yield from self._compute(cost.task_cleanup_s)
         engine.metrics.record_resource_usage(self.usage)
         # The engine commits (registers) outputs only if this attempt
@@ -225,6 +226,13 @@ class SparkTaskRun:
                 yield self._cache_read(machine, unit)
                 self.usage.disk_bytes_read += unit.stored_bytes
         else:
+            svc = self.engine.datasvc
+            if svc is not None and svc.owns_machine(source.machine_id):
+                # The data tier serves the unit: checksum-verified read
+                # with replica failover, then a network transfer.
+                yield from self._fetch_from_datasvc(svc, unit)
+                self.usage.network_bytes += unit.stored_bytes
+                return
             remote = self.engine.cluster.machine(source.machine_id)
             yield self.env.timeout(FLOW_LATENCY_S)  # request round trip
             if not source.in_memory:
@@ -234,6 +242,21 @@ class SparkTaskRun:
                 source.machine_id, machine.machine_id, unit.stored_bytes,
                 label=self._unit_block_id(unit))
             self.usage.network_bytes += unit.stored_bytes
+
+    def _fetch_from_datasvc(self, svc, unit: _Unit) -> Generator:
+        descriptor = self.work.descriptor
+        ids = (descriptor.job_id, descriptor.stage_id, descriptor.index)
+        dst = self.machine.machine_id
+        if unit.blocks is not None:
+            yield from svc.fetch_shuffle(dst, list(unit.blocks), ids)
+            return
+        spec = descriptor.input
+        if isinstance(spec, DfsInput):
+            yield from svc.read_block(dst, spec.block.block_id,
+                                      unit.stored_bytes, ids)
+            return
+        yield from svc.read_block(dst, self._unit_block_id(unit),
+                                  unit.stored_bytes, ids)
 
     def _cache_read(self, machine: Machine, unit: _Unit):
         if unit.blocks is not None:
@@ -262,7 +285,10 @@ class SparkTaskRun:
         self.usage.cpu_s += seconds
 
     def _writes_per_unit(self) -> bool:
-        return isinstance(self.work.descriptor.output, (DfsOutput,))
+        # Data-service runs stream the whole output block at the end
+        # instead of spilling pieces to the local disk.
+        return (isinstance(self.work.descriptor.output, (DfsOutput,))
+                and self.engine.datasvc is None)
 
     def _write_output_piece(self, nbytes: float, disk_index: int,
                             block_id: str) -> Generator:
@@ -272,6 +298,21 @@ class SparkTaskRun:
                                        write_through=self.engine.flush_writes)
         self.usage.disk_bytes_written += nbytes
 
+    def _write_dfs_block(self) -> Generator:
+        """Stream a DFS output block to the data service (if enabled)."""
+        output = self.work.descriptor.output
+        svc = self.engine.datasvc
+        if svc is None or not isinstance(output, DfsOutput):
+            return
+        descriptor = self.work.descriptor
+        yield from svc.write_block(
+            self.machine.machine_id, f"dfsout:{descriptor.task_id}",
+            self.work.output_stored_bytes,
+            (descriptor.job_id, descriptor.stage_id, descriptor.index),
+            payload=(self.work.output_partition
+                     if output.keep_payload else None))
+        self.usage.network_bytes += self.work.output_stored_bytes
+
     def _write_shuffle_buckets(self, disk_index: int) -> Generator:
         output = self.work.descriptor.output
         if not isinstance(output, ShuffleOutput):
@@ -279,6 +320,22 @@ class SparkTaskRun:
         if output.in_memory:
             # No disk I/O; the engine accounts the resident bytes when
             # the winning attempt commits.
+            return
+        svc = self.engine.datasvc
+        if svc is not None:
+            # Disaggregated shuffle: stream the buckets to the service
+            # instead of the local disk.
+            descriptor = self.work.descriptor
+            buckets = {
+                reduce_index: output.fmt.stored_bytes(bucket.data_bytes)
+                for reduce_index, bucket
+                in sorted((self.work.shuffle_buckets or {}).items())
+            }
+            yield from svc.put_map_output(
+                self.machine.machine_id, output.shuffle_id,
+                descriptor.index, buckets,
+                (descriptor.job_id, descriptor.stage_id, descriptor.index))
+            self.usage.network_bytes += sum(buckets.values())
             return
         if self.engine.flush_writes and self.work.output_stored_bytes > 0:
             # The forced-flush configuration syncs whole shuffle files,

@@ -40,6 +40,8 @@ __all__ = [
     "LINK_RETRY",
     "LINK_SPECULATION",
     "LINK_REDISPATCH",
+    "LINK_DATASVC_READ",
+    "LINK_DATASVC_WRITE",
     "span_to_json",
     "link_to_json",
 ]
@@ -57,6 +59,10 @@ LINK_QUEUE_WAIT = "queue-wait"
 LINK_RETRY = "retry"
 LINK_SPECULATION = "speculation"
 LINK_REDISPATCH = "redispatch"
+#: Data-service causal edges: a storage-node read serving a client
+#: fetch, and a client write landing in the data tier.
+LINK_DATASVC_READ = "datasvc-read"
+LINK_DATASVC_WRITE = "datasvc-write"
 
 
 @dataclass(frozen=True)

@@ -42,6 +42,13 @@ class TestExamples:
         assert "machine-crash" in out
         assert "lineage" in out
 
+    def test_data_service(self, capsys):
+        out = run_example("data_service", capsys)
+        assert "disaggregated shuffle" in out
+        assert "zero lineage losses" in out
+        assert "integrity suspicions" in out
+        assert "same answer, same bytes" in out
+
     def test_clarity_pipeline(self, capsys):
         out = run_example("clarity_pipeline", capsys)
         assert "bottleneck: disk" in out

@@ -63,6 +63,49 @@ class TestPartitionInvariants:
         flattened = [r for p in parts for r in p.records]
         assert sorted(map(repr, flattened)) == sorted(map(repr, rows))
 
+    @given(records, st.integers(1, 8))
+    def test_split_adoption_conserves_and_adopts(self, rows, buckets):
+        """The shuffle writer's ``own_records=True`` path: buckets are
+        adopted by identity (no copy) with the same byte conservation
+        as the copying path."""
+        partition = Partition.from_records(rows, record_count=700.0,
+                                           data_bytes=3100.0)
+        split = HashPartitioner(buckets).split(rows)
+        fresh = [list(bucket) for bucket in split]
+        parts = partition.split_proportionally(fresh, own_records=True)
+        assert all(part.records is bucket
+                   for part, bucket in zip(parts, fresh))
+        assert math.isclose(sum(p.record_count for p in parts), 700.0)
+        assert math.isclose(sum(p.data_bytes for p in parts), 3100.0)
+        copied = partition.split_proportionally(split, own_records=False)
+        assert [(p.record_count, p.data_bytes) for p in parts] \
+            == [(p.record_count, p.data_bytes) for p in copied]
+
+    @given(st.integers(0, 10**6), st.integers(1, 16),
+           st.integers(0, 120))
+    def test_seeded_plan_split_conserves_bytes(self, seed, buckets, n):
+        """Byte conservation over seeded shuffle plans: a deterministic
+        record stream split exactly as the shuffle writer splits it
+        (hash partition then proportional adoption) loses nothing."""
+        import random
+        rng = random.Random(seed)
+        rows = [(f"k{rng.randrange(37)}", rng.randrange(1000))
+                for _ in range(n)]
+        partition = Partition.from_records(rows)
+        split = HashPartitioner(buckets).split(rows)
+        parts = partition.split_proportionally(split, own_records=True)
+        assert math.isclose(sum(p.record_count for p in parts),
+                            partition.record_count)
+        assert math.isclose(sum(p.data_bytes for p in parts),
+                            partition.data_bytes)
+        assert sum(len(p.records) for p in parts) == len(rows)
+        # Empty buckets carry no modeled mass unless everything is empty.
+        if rows:
+            for part in parts:
+                if not part.records:
+                    assert part.record_count == 0.0
+                    assert part.data_bytes == 0.0
+
 
 class TestPartitionerInvariants:
     @given(records, st.integers(1, 16))
