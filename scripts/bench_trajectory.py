@@ -18,6 +18,12 @@ Three benchmarks, selected with ``--bench``:
   corruption, storage-node crash, both engines) and writes
   ``BENCH_datasvc.json``: attempt-outcome and data-tier counters that
   pin the "a compute crash loses no map output" contrast.
+* ``controlplane`` -- runs the seeded multi-driver scenarios
+  (``repro.controlplane.bench``: jobs/sec at 1/2/4 driver replicas, a
+  mid-run leader crash with checkpointed failover on vs off) and writes
+  ``BENCH_controlplane.json``: throughput, p95, election/failover and
+  lost-vs-resumed counters that pin the "a driver crash loses no
+  requests" contrast.
 
 The committed copy at the repo root is the baseline; the CI
 clarity-bench / kernel-bench / datasvc-bench jobs regenerate the file
@@ -37,6 +43,9 @@ Usage:
         [--output BENCH_kernel.json] [--check BASELINE] [--repeats 2]
     python scripts/bench_trajectory.py --bench datasvc
         [--output BENCH_datasvc.json] [--check BASELINE] [--repeats 2]
+    python scripts/bench_trajectory.py --bench controlplane
+        [--output BENCH_controlplane.json] [--check BASELINE]
+        [--repeats 2]
 
 Exit status 0 on match, 1 on drift or a failed acceptance gate.
 """
@@ -57,6 +66,7 @@ DEFAULT_OUTPUTS = {
     "clarity": os.path.join(_ROOT, "BENCH_clarity.json"),
     "kernel": os.path.join(_ROOT, "BENCH_kernel.json"),
     "datasvc": os.path.join(_ROOT, "BENCH_datasvc.json"),
+    "controlplane": os.path.join(_ROOT, "BENCH_controlplane.json"),
 }
 
 
@@ -205,12 +215,48 @@ def check_datasvc(result: dict, baseline_path: str) -> int:
     return 0
 
 
+# -- controlplane -------------------------------------------------------------
+
+
+def compute_controlplane(repeats: int) -> dict:
+    """The seeded multi-driver scenarios, byte-stable across repeats."""
+    from repro.controlplane.bench import (ControlPlaneWorkload,
+                                          run_controlplane_benchmark,
+                                          trajectory_summary)
+    workload = ControlPlaneWorkload()
+    invariants = run_controlplane_benchmark(workload, repeats=repeats)
+    return trajectory_summary(invariants, workload, repeats=repeats)
+
+
+def check_controlplane(result: dict, baseline_path: str) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section in ("workload", "invariants"):
+        ours = _numbers(section, result.get(section, {}))
+        theirs = _numbers(section, baseline.get(section, {}))
+        for path in sorted(set(ours) | set(theirs)):
+            if ours.get(path) != theirs.get(path):
+                failures.append(
+                    f"{path}: baseline {theirs.get(path)!r} vs current "
+                    f"{ours.get(path)!r} (must match exactly)")
+    if failures:
+        print(f"controlplane trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"controlplane trajectory matches {baseline_path} (exact)")
+    return 0
+
+
 # -- driver -------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--bench", choices=("clarity", "kernel", "datasvc"),
+    parser.add_argument("--bench",
+                        choices=("clarity", "kernel", "datasvc",
+                                 "controlplane"),
                         default="clarity",
                         help="which trajectory to run (default clarity)")
     parser.add_argument("--output", default=None,
@@ -238,6 +284,21 @@ def main(argv=None) -> int:
               f"{mono['datasvc_crash_outcomes']}")
         if args.check is not None:
             return check_datasvc(result, args.check)
+        return 0
+
+    if args.bench == "controlplane":
+        result = compute_controlplane(args.repeats)
+        write(result, output)
+        inv = result["invariants"]
+        scaling = inv["driver_scaling"]
+        rates = ", ".join(f"{n}={scaling[n]['jobs_per_s']}"
+                          for n in sorted(scaling, key=int))
+        print(f"wrote {output}: jobs/s by drivers ({rates}); crash with "
+              f"failover lost {inv['crash_failover_on']['jobs_lost']} "
+              f"(resumed {inv['crash_failover_on']['jobs_resumed']}) vs "
+              f"{inv['crash_failover_off']['jobs_lost']} without")
+        if args.check is not None:
+            return check_controlplane(result, args.check)
         return 0
 
     if args.bench == "clarity":

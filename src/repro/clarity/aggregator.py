@@ -87,6 +87,10 @@ class BottleneckWindow:
     #: Wall-clock seconds summed over the window's attributable jobs.
     attributed_seconds: float = 0.0
     reason: str = ""
+    #: Control-plane utilization per driver shard: the fraction of the
+    #: window each replica's sequential admission loop spent busy
+    #: (empty when no sharded control plane reported in).
+    shard_fractions: Dict[int, float] = field(default_factory=dict)
 
     @property
     def dominant(self) -> Optional[Tuple[str, float]]:
@@ -104,15 +108,25 @@ class BottleneckWindow:
         return max(self.machine_fractions.items(),
                    key=lambda item: (item[1], -item[0]))
 
+    @property
+    def dominant_shard(self) -> Optional[Tuple[int, float]]:
+        """(driver, busy fraction) of the busiest control-plane shard."""
+        if not self.shard_fractions:
+            return None
+        return max(self.shard_fractions.items(),
+                   key=lambda item: (item[1], -item[0]))
+
     def format(self) -> str:
         """A stable, human-readable window summary."""
         header = (f"clarity window: last {self.window_s:g}s at "
                   f"t={self.now:.1f}s -- {self.jobs} jobs "
                   f"({self.attributable_jobs} attributable)")
         if self.jobs == 0:
-            return header + "\n  no jobs completed in the window"
+            return self._with_shards(
+                header + "\n  no jobs completed in the window")
         if not self.attributable:
-            return (header + "\n  NOT ATTRIBUTABLE: " + self.reason)
+            return self._with_shards(
+                header + "\n  NOT ATTRIBUTABLE: " + self.reason)
         lines = [header, "  critical-path fraction by resource:"]
         for label, fraction in sorted(self.fractions.items(),
                                       key=lambda item: (-item[1], item[0])):
@@ -127,8 +141,27 @@ class BottleneckWindow:
             lines.append(f"  bottleneck: {label} "
                          f"({100.0 * fraction:.1f}% of the window's "
                          f"critical-path seconds)")
+        return self._with_shards("\n".join(lines))
+
+    def _with_shards(self, body: str) -> str:
+        """Append the control-plane shard section (when one reported)."""
+        if not self.shard_fractions:
+            return body
+        lines = [body, "  control-plane busy fraction by driver shard:"]
+        for driver, fraction in sorted(self.shard_fractions.items()):
+            lines.append(f"    driver {driver:<9} {100.0 * fraction:5.1f}%")
+        shard = self.dominant_shard
+        if shard is not None and shard[1] >= SHARD_SATURATION_FRACTION:
+            lines.append(f"  saturated driver shard: driver {shard[0]} "
+                         f"({100.0 * shard[1]:.1f}% busy -- the "
+                         f"control plane, not a cluster resource, is "
+                         f"this shard's bottleneck)")
         return "\n".join(lines)
 
+
+#: A driver shard whose admission loop is busy at least this fraction
+#: of the window is called out as saturated in the window summary.
+SHARD_SATURATION_FRACTION = 0.9
 
 #: Reason strings (kept stable: tests and reports match on them).
 _BLENDED_REASON = (
@@ -155,6 +188,11 @@ class ClarityAggregator:
         self.window_s = window_s
         self.engine = engine
         self._jobs: Deque[JobClarity] = deque(maxlen=max_jobs)
+        #: (end time, driver id, busy seconds) of control-plane work,
+        #: reported per dispatch by a sharded control plane; bounded
+        #: like the job ring so memory stays constant.
+        self._control: Deque[Tuple[float, int, float]] = deque(
+            maxlen=max(max_jobs * 16, 1024))
 
     # -- folding -------------------------------------------------------------------
 
@@ -184,6 +222,19 @@ class ClarityAggregator:
         self._jobs.append(observation)
         return observation
 
+    def observe_control(self, driver_id: int, busy_s: float,
+                        at: float) -> None:
+        """Fold one slice of control-plane work into the window.
+
+        A :class:`~repro.controlplane.ControlPlane` driver replica calls
+        this once per dispatch with the seconds its sequential admission
+        loop spent on the request, so :meth:`bottleneck` can report a
+        *driver shard* -- not just a cluster resource -- as saturated.
+        """
+        if not busy_s >= 0:
+            raise ClarityError(f"busy_s must be >= 0: {busy_s!r}")
+        self._control.append((at, driver_id, busy_s))
+
     # -- querying ------------------------------------------------------------------
 
     @property
@@ -194,9 +245,11 @@ class ClarityAggregator:
     def _now(self, now: Optional[float]) -> float:
         if now is not None:
             return now
-        if not self._jobs:
+        if not self._jobs and not self._control:
             return 0.0
-        return max(job.end for job in self._jobs)
+        ends = [job.end for job in self._jobs]
+        ends.extend(at for at, _, _ in self._control)
+        return max(ends)
 
     def observations(self, now: Optional[float] = None,
                      window_s: Optional[float] = None) -> List[JobClarity]:
@@ -217,6 +270,14 @@ class ClarityAggregator:
             window_s=window_s, now=now, jobs=len(jobs),
             attributable_jobs=len(attributable),
             attributable=bool(attributable))
+        shard_seconds: Dict[int, float] = {}
+        for at, driver_id, busy_s in self._control:
+            if now - window_s <= at <= now:
+                shard_seconds[driver_id] = (shard_seconds.get(driver_id, 0.0)
+                                            + busy_s)
+        summary.shard_fractions = {
+            driver: min(seconds / window_s, 1.0)
+            for driver, seconds in shard_seconds.items()}
         if not jobs:
             summary.reason = "no jobs completed in the window"
             return summary

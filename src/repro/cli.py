@@ -14,6 +14,7 @@ Examples::
     python -m repro clarity advise --duration 120 --rate 0.05
     python -m repro health --degrade-machine 1 --factor 10
     python -m repro datasvc --nodes 3 --replication 2 --crash-machine 1
+    python -m repro controlplane --drivers 4 --crash-driver 3 --crash-at 20
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
 additionally exercise the §6 performance-clarity machinery, ``serve``
@@ -223,6 +224,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corrupt-node", type=int, default=0,
                    help="storage node whose replica gets a flipped "
                         "checksum")
+
+    p = sub.add_parser("controlplane",
+                       help="sharded multi-driver serving: crash a "
+                            "driver mid-run and watch checkpointed "
+                            "failover adopt its tenants")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--drivers", type=int, default=2,
+                   help="driver replicas sharding the tenants "
+                        "(default 2)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="tenants spread over the ring (default 4)")
+    p.add_argument("--duration", type=float, default=40.0,
+                   help="arrival horizon in simulated seconds")
+    p.add_argument("--rate", type=float, default=0.5,
+                   help="per-tenant arrivals per second")
+    p.add_argument("--control-service", type=float, default=0.05,
+                   help="driver seconds serialized per dispatch")
+    p.add_argument("--crash-driver", type=int, default=None,
+                   help="crash this driver replica mid-run")
+    p.add_argument("--crash-at", type=float, default=20.0)
+    p.add_argument("--restart-after", type=float, default=None,
+                   help="bring the crashed driver back after this many "
+                        "seconds (default: stays dead)")
+    p.add_argument("--partition-driver", type=int, default=None,
+                   help="partition this driver from its peers mid-run")
+    p.add_argument("--heal-after", type=float, default=None,
+                   help="heal the partition after this many seconds")
+    p.add_argument("--no-failover", action="store_true",
+                   help="disable checkpointing and failover (for "
+                        "contrast; crashed shards lose their requests)")
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -651,6 +683,45 @@ def _cmd_datasvc(args) -> int:
     return 0 if not crash_outcomes.get("fetch-failed") else 3
 
 
+def _cmd_controlplane(args) -> int:
+    from repro.controlplane import ControlPlane, ControlPlanePolicy
+    from repro.faults import (DriverCrash, DriverPartition, FaultInjector,
+                              FaultPlan)
+    from repro.serve import PoissonArrivals, wordcount_template
+
+    cluster = _make_cluster(args)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    policy = ControlPlanePolicy(control_service_s=args.control_service,
+                                checkpoint=not args.no_failover,
+                                failover=not args.no_failover)
+    plane = ControlPlane(ctx, num_drivers=args.drivers, config=policy,
+                         seed=args.seed)
+    template = wordcount_template(ctx, num_blocks=2, block_mb=4.0,
+                                  seed=args.seed)
+    for i in range(args.tenants):
+        plane.add_workload(f"tenant{i}", template,
+                           PoissonArrivals(args.rate,
+                                           horizon_s=args.duration))
+    faults = []
+    if args.crash_driver is not None:
+        faults.append(DriverCrash(at=args.crash_at,
+                                  driver_id=args.crash_driver,
+                                  restart_after=args.restart_after))
+    if args.partition_driver is not None:
+        faults.append(DriverPartition(at=args.crash_at,
+                                      driver_id=args.partition_driver,
+                                      heal_after=args.heal_after))
+    if faults:
+        FaultInjector(ctx.engine, FaultPlan(faults)).start()
+    report = plane.run()
+    print(report.format())
+    if report.jobs_lost:
+        print(f"\n{report.jobs_lost} request(s) lost with their driver "
+              f"-- run without --no-failover to keep them")
+        return 3
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -692,6 +763,7 @@ _COMMANDS = {
     "clarity": _cmd_clarity,
     "health": _cmd_health,
     "datasvc": _cmd_datasvc,
+    "controlplane": _cmd_controlplane,
     "reproduce": _cmd_reproduce,
 }
 

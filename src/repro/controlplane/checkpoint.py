@@ -1,0 +1,105 @@
+"""Durable per-tenant driver state on the metadata data-service tier.
+
+A driver replica's soft state for one tenant -- the admitted queue,
+in-flight job attempts, compiled-template cache keys, and the fair
+scheduler's SLO accounting -- is encoded as canonical JSON (sorted
+keys, fixed separators: byte-identical across runs) and written through
+:meth:`repro.datasvc.DataService.write_block` as a replicated,
+checksummed block named ``ckpt:{tenant}``.  A re-write replaces the
+previous version, so the block always holds the latest checkpoint.
+
+The store rides a *dedicated* metadata :class:`~repro.simulator.network.
+Network` (the plane builds the service with ``network=``), so
+checkpoint traffic never re-banks the max-min fair shares of compute
+flows -- checkpointing on vs off leaves job timing float-identical,
+which ``tests/test_determinism.py`` pins.
+
+Reads pay the full simulated I/O cost (replica selection, CRC verify,
+transfer) via :meth:`~repro.datasvc.DataService.read_block`, then
+decode the payload the service stored at write time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Generator, Optional
+
+__all__ = ["CheckpointStore", "encode_state", "decode_state"]
+
+_IDS = (-1, -1, -1)  # checkpoint I/O belongs to no job/stage/task
+
+
+def encode_state(state: Dict) -> str:
+    """Canonical JSON: sorted keys, no whitespace -- byte-stable."""
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def decode_state(encoded: str) -> Dict:
+    """Inverse of :func:`encode_state`."""
+    return json.loads(encoded)
+
+
+class CheckpointStore:
+    """Tenant checkpoints over a (metadata) :class:`DataService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.env = service.env
+        # Cumulative counters (telemetry / report face).  Stamped at
+        # issue time, so they are deterministic whatever the I/O takes.
+        self.writes = 0
+        self.restores = 0
+        self.write_failures = 0
+        self.bytes_written = 0.0
+
+    @staticmethod
+    def block_id(tenant: str) -> str:
+        return f"ckpt:{tenant}"
+
+    def write(self, src_machine_id: int, tenant: str,
+              state: Dict) -> Generator:
+        """A process body that persists ``state`` for ``tenant``.
+
+        The content is encoded (and, once the generator first advances,
+        durably stored by the service) at issue time; the generator then
+        models the put/replication cost.  Callers fire it with
+        ``env.process`` so checkpointing never blocks the dispatch path.
+        """
+        encoded = encode_state(state)
+        nbytes = float(len(encoded.encode("utf-8")))
+        self.writes += 1
+        self.bytes_written += nbytes
+        return self._write(src_machine_id, self.block_id(tenant), nbytes,
+                           encoded)
+
+    def _write(self, src_machine_id: int, block_id: str, nbytes: float,
+               encoded: str) -> Generator:
+        yield from self.service.write_block(src_machine_id, block_id,
+                                            nbytes, _IDS, payload=encoded)
+
+    def read(self, dst_machine_id: int, tenant: str) -> Generator:
+        """A process body yielding the latest checkpoint, or ``None``.
+
+        Pays the simulated read cost (verified replica, transfer over
+        the metadata fabric) before decoding.  Raises
+        :class:`~repro.errors.FaultError` when every replica is gone --
+        the adopter then treats the tenant as having no checkpoint.
+        """
+        info = self.service.block_info(self.block_id(tenant))
+        if info is None:
+            return None
+        nbytes, payload = info
+        yield from self.service.read_block(dst_machine_id,
+                                           self.block_id(tenant),
+                                           nbytes, _IDS)
+        self.restores += 1
+        return decode_state(payload)
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot (merged into the control-plane report)."""
+        return {
+            "checkpoint_writes": float(self.writes),
+            "checkpoint_restores": float(self.restores),
+            "checkpoint_write_failures": float(self.write_failures),
+            "checkpoint_bytes": self.bytes_written,
+        }

@@ -1,0 +1,133 @@
+"""The control-plane run report: serving stats plus failover timeline.
+
+Wraps the serving layer's :class:`~repro.serve.slo.ServeReport` and
+adds what a multi-driver plane uniquely knows: per-driver shard stats,
+membership/election/failover counters, every
+:class:`~repro.metrics.events.DriverEventRecord` in time order, and a
+:class:`FailoverSummary` per recovered driver.  ``format()`` renders
+with fixed precision, so identical runs produce byte-identical text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.metrics.events import DriverEventRecord
+from repro.metrics.report import format_table
+from repro.serve.slo import ServeReport
+
+__all__ = ["FailoverSummary", "ControlPlaneReport"]
+
+
+@dataclass
+class FailoverSummary:
+    """One leader-driven recovery of a declared-dead driver."""
+
+    #: When the leader declared the driver dead and began reassignment.
+    at: float
+    #: When the last tenant's adoption (checkpoint restore included)
+    #: finished.
+    completed_at: float
+    dead_driver: int
+    #: The dead driver's incarnation at failure (restarts bump it).
+    incarnation: int
+    tenants: Tuple[str, ...] = ()
+    #: tenant -> adopting driver id.
+    adopters: Dict[str, int] = field(default_factory=dict)
+    #: In-flight jobs re-attached to adopters without re-execution.
+    resumed: int = 0
+    #: Queued requests re-dispatched by adopters.
+    replayed: int = 0
+    #: Requests with no surviving state (checkpointing off).
+    lost: int = 0
+    #: Tenant checkpoints successfully restored.
+    restored: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Detection-to-adoption time for the whole dead shard."""
+        return self.completed_at - self.at
+
+
+@dataclass
+class ControlPlaneReport:
+    """Everything one sharded serving run produced."""
+
+    serve: ServeReport
+    num_drivers: int
+    leader_id: int
+    leader_epoch: int
+    #: tenant -> owning driver at run end.
+    assignment: Dict[str, int] = field(default_factory=dict)
+    per_driver: List[Dict] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    failovers: List[FailoverSummary] = field(default_factory=list)
+    events: List[DriverEventRecord] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds the serving run spanned."""
+        return self.serve.duration_s
+
+    @property
+    def total_completed(self) -> int:
+        """Requests completed across every tenant and shard."""
+        return self.serve.total_completed
+
+    @property
+    def jobs_lost(self) -> int:
+        """Requests that vanished with a driver -- zero when checkpointed
+        failover did its job (the CLI exits non-zero otherwise)."""
+        return self.serve.total_lost
+
+    @property
+    def jobs_per_s(self) -> float:
+        """Completed jobs per simulated second, across all shards."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_completed / self.duration_s
+
+    def format(self) -> str:
+        """Render the full report (serving stats first)."""
+        sections = [self.serve.format()]
+        driver_rows = [
+            [f"d{d['driver']}", d["state"], d["tenants"], d["dispatched"],
+             d["completed"], d["failed"], d["fenced"], d["crashes"],
+             f"{d['control_busy_s']:.3f}"]
+            for d in self.per_driver]
+        sections.append(format_table(
+            ["driver", "state", "tenants", "dispatched", "done", "failed",
+             "fenced", "crashes", "busy (s)"],
+            driver_rows,
+            title=(f"Control plane ({self.num_drivers} drivers, leader "
+                   f"d{self.leader_id} epoch {self.leader_epoch}, "
+                   f"{self.jobs_per_s:.2f} jobs/s)")))
+        counter_rows = [[name, f"{value:g}"]
+                        for name, value in sorted(self.counters.items())]
+        sections.append(format_table(
+            ["counter", "value"], counter_rows,
+            title="Control-plane counters"))
+        if self.failovers:
+            failover_rows = [
+                [f"{f.at:.1f}", f"d{f.dead_driver}",
+                 ",".join(f.tenants) or "-",
+                 ",".join(f"{t}->d{d}"
+                          for t, d in sorted(f.adopters.items())) or "-",
+                 f.restored, f.resumed, f.replayed, f.lost,
+                 f"{f.duration_s:.3f}"]
+                for f in self.failovers]
+            sections.append(format_table(
+                ["t (s)", "dead", "tenants", "adopters", "restored",
+                 "resumed", "replayed", "lost", "took (s)"],
+                failover_rows, title="Failover timeline"))
+        if self.events:
+            event_rows = [
+                [f"{e.at:.1f}", e.kind, f"d{e.driver_id}",
+                 "-" if e.peer_id < 0 else f"d{e.peer_id}",
+                 e.tenant or "-", e.detail or "-"]
+                for e in self.events]
+            sections.append(format_table(
+                ["t (s)", "event", "driver", "peer", "tenant", "detail"],
+                event_rows, title="Driver event timeline"))
+        return "\n\n".join(sections)

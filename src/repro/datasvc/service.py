@@ -184,18 +184,27 @@ class DataService:
     Storage nodes get machine ids ``cluster.num_machines ..`` on the
     shared network fabric; :meth:`owns_machine` tells the engines which
     ids belong to the data tier.
+
+    ``network`` overrides the fabric the tier's transfers ride on.  The
+    default (the cluster's shared network) is right for shuffle and DFS
+    data; a service carrying out-of-band metadata -- the control plane's
+    tenant checkpoints -- passes its own :class:`Network` so metadata
+    flows never perturb the max-min fair shares (and therefore the
+    float-exact timing) of compute transfers.
     """
 
     def __init__(self, cluster: Cluster, num_nodes: int = 3,
                  replication: int = 2, spec: Optional[MachineSpec] = None,
                  disk_concurrency: int = 4,
-                 suspicion_exclude_threshold: int = 2) -> None:
+                 suspicion_exclude_threshold: int = 2,
+                 network=None) -> None:
         if num_nodes < 1:
             raise ConfigError("data service needs at least one node")
         if replication < 1:
             raise ConfigError("replication must be >= 1")
         self.cluster = cluster
         self.env = cluster.env
+        self.network = network if network is not None else cluster.network
         self.num_nodes = num_nodes
         self.replication = min(replication, num_nodes)
         self.disk_concurrency = disk_concurrency
@@ -204,7 +213,7 @@ class DataService:
         node_spec = spec or cluster.spec
         self.nodes: List[StorageNode] = [
             StorageNode(self, i, Machine(cluster.env, self._base_id + i,
-                                         node_spec, cluster.network))
+                                         node_spec, self.network))
             for i in range(num_nodes)
         ]
         self._engine = None
@@ -261,6 +270,18 @@ class DataService:
     def node_machine_id(self, node_index: int) -> int:
         """Fabric machine id of storage node ``node_index``."""
         return self._base_id + node_index
+
+    def block_info(self, block_id: str) -> Optional[Tuple[float, object]]:
+        """``(nbytes, payload)`` of a held block, or ``None``.
+
+        Readers that pay the simulated I/O cost via :meth:`read_block`
+        use this to get the actual content back -- the control plane's
+        checkpoint restore path decodes the payload it wrote.
+        """
+        block = self._blocks.get(block_id)
+        if block is None:
+            return None
+        return (block.nbytes, block.payload)
 
     @property
     def live_node_count(self) -> int:
@@ -350,7 +371,7 @@ class DataService:
                 f"storage node {primary.index} is down")
         yield self.env.timeout(FLOW_LATENCY_S)  # the put request
         if block.nbytes > 0:
-            yield self.cluster.network.transfer(
+            yield self.network.transfer(
                 src_machine_id, primary.machine_id, block.nbytes,
                 label=f"datasvc-put:{block.block_id}")
         replica = Replica(primary.index, block.crc)
@@ -371,7 +392,7 @@ class DataService:
         """Copy a block to one follower node, then drain it to disk."""
         try:
             if block.nbytes > 0:
-                yield self.cluster.network.transfer(
+                yield self.network.transfer(
                     source.machine_id, target.machine_id, block.nbytes,
                     label=f"datasvc-repl:{block.block_id}")
         except (FaultError, Interrupted):
@@ -504,7 +525,7 @@ class DataService:
             yield read.done
         if nbytes > 0:
             start = self.env.now
-            yield self.cluster.network.transfer(
+            yield self.network.transfer(
                 node.machine_id, dst_machine_id, nbytes,
                 label=f"datasvc-read:{block.block_id}")
             if self._metrics is not None:

@@ -570,6 +570,11 @@ class BaseEngine:
         self.datasvc = datasvc
         if datasvc is not None:
             datasvc.attach_engine(self)
+        #: Optional sharded control plane (:mod:`repro.controlplane`):
+        #: set by :meth:`ControlPlane.attach_engine` so fault injection
+        #: and telemetry can reach the driver replicas through the
+        #: engine, mirroring ``datasvc``.
+        self.controlplane = None
         # New DFS replicas avoid the machines the scheduler avoids.
         cluster.dfs.set_exclusion_provider(
             lambda: self._dead_machines | self._excluded_machines)
@@ -654,6 +659,8 @@ class BaseEngine:
             engine=self.name)
         if self.datasvc is not None:
             self.datasvc.register_telemetry(telemetry)
+        if self.controlplane is not None:
+            self.controlplane.register_telemetry(telemetry)
 
     # -- public API ---------------------------------------------------------------
 

@@ -9,16 +9,18 @@ produces the same trace, injected faults included.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import (BlockCorruption, DiskFault, FaultPlan,
-                               LinkPartition, MachineCrash,
-                               NetworkDegradation, StorageNodeCrash,
-                               TransientSlowdown, fail_slow_plan,
-                               random_plan)
+from repro.faults.plan import (BlockCorruption, DiskFault, DriverCrash,
+                               DriverPartition, FaultPlan, LinkPartition,
+                               MachineCrash, NetworkDegradation,
+                               StorageNodeCrash, TransientSlowdown,
+                               fail_slow_plan, random_plan)
 from repro.faults.policy import RecoveryPolicy
 
 __all__ = [
     "BlockCorruption",
     "DiskFault",
+    "DriverCrash",
+    "DriverPartition",
     "FaultInjector",
     "FaultPlan",
     "LinkPartition",

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.faults.plan import (BlockCorruption, DiskFault, FaultPlan,
-                               LinkPartition, MachineCrash,
-                               NetworkDegradation, StorageNodeCrash,
-                               TransientSlowdown)
+from repro.faults.plan import (BlockCorruption, DiskFault, DriverCrash,
+                               DriverPartition, FaultPlan, LinkPartition,
+                               MachineCrash, NetworkDegradation,
+                               StorageNodeCrash, TransientSlowdown)
 from repro.metrics.events import FaultEventRecord
 
 __all__ = ["FaultInjector"]
@@ -132,6 +132,68 @@ class FaultInjector:
                 self._record("block-corruption", machine_id,
                              detail=f"block {block_id} on storage "
                                     f"node {fault.node_index}")
+            elif isinstance(fault, DriverCrash):
+                plane = self._controlplane(fault)
+                if plane is None:
+                    continue
+                if plane.driver_is_down(fault.driver_id):
+                    self._record("driver-crash-skipped", -1,
+                                 detail="target down")
+                    continue
+                plane.crash_driver(fault.driver_id)
+                self._record("driver-crash", -1,
+                             detail=f"driver {fault.driver_id}")
+                if fault.restart_after is not None:
+                    self.env.process(self._restart_driver(fault, plane))
+            elif isinstance(fault, DriverPartition):
+                plane = self._controlplane(fault)
+                if plane is None:
+                    continue
+                if plane.driver_is_down(fault.driver_id):
+                    self._record("driver-partition-skipped", -1,
+                                 detail="target down")
+                    continue
+                if plane.driver_is_partitioned(fault.driver_id):
+                    self._record("driver-partition-skipped", -1,
+                                 detail="already partitioned")
+                    continue
+                plane.partition_driver(fault.driver_id)
+                heal = ("permanent" if fault.heal_after is None
+                        else f"heals in {fault.heal_after:g}s")
+                self._record("driver-partition", -1,
+                             detail=f"driver {fault.driver_id}, {heal}")
+                if fault.heal_after is not None:
+                    self.env.process(self._heal_driver(fault, plane))
+
+    def _controlplane(self, fault) -> object:
+        """The engine's control plane, or None (recorded as skipped)."""
+        kind = ("driver-crash" if isinstance(fault, DriverCrash)
+                else "driver-partition")
+        plane = getattr(self.engine, "controlplane", None)
+        if plane is None:
+            self._record(f"{kind}-skipped", -1, detail="no control plane")
+            return None
+        if not (0 <= fault.driver_id < plane.num_drivers):
+            self._record(f"{kind}-skipped", -1,
+                         detail=f"no driver {fault.driver_id}")
+            return None
+        return plane
+
+    def _restart_driver(self, fault: DriverCrash, plane) -> Generator:
+        yield self.env.timeout(fault.restart_after)
+        plane.restart_driver(fault.driver_id)
+        self._record("driver-restart", -1,
+                     detail=f"driver {fault.driver_id}")
+
+    def _heal_driver(self, fault: DriverPartition, plane) -> Generator:
+        yield self.env.timeout(fault.heal_after)
+        if plane.driver_is_down(fault.driver_id):
+            self._record("driver-partition-heal-skipped", -1,
+                         detail="target down")
+            return
+        plane.heal_driver(fault.driver_id)
+        self._record("driver-partition-heal", -1,
+                     detail=f"driver {fault.driver_id}")
 
     def _service(self, fault) -> object:
         """The engine's data service, or None (recorded as skipped)."""

@@ -17,7 +17,8 @@ from repro.simulator.rng import RngStreams
 
 __all__ = ["MachineCrash", "DiskFault", "TransientSlowdown",
            "NetworkDegradation", "LinkPartition", "StorageNodeCrash",
-           "BlockCorruption", "FaultPlan", "random_plan", "fail_slow_plan"]
+           "BlockCorruption", "DriverCrash", "DriverPartition",
+           "FaultPlan", "random_plan", "fail_slow_plan"]
 
 
 @dataclass(frozen=True)
@@ -117,13 +118,41 @@ class BlockCorruption:
     block_seq: int = 0
 
 
+@dataclass(frozen=True)
+class DriverCrash:
+    """A control-plane driver replica fail-stops at ``at``: its queued
+    requests and in-memory tenant state vanish, heartbeats stop, and
+    the leader must fail its tenants over to a surviving replica.
+    ``driver_id`` indexes the replica within the
+    :class:`~repro.controlplane.ControlPlane`; optionally restarts
+    (empty, like a reimage) ``restart_after`` seconds later."""
+
+    at: float
+    driver_id: int
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DriverPartition:
+    """A driver replica is cut off from its peers at ``at``: it keeps
+    running -- the split-brain case -- but can neither send nor receive
+    heartbeats, so the survivors declare it dead and fail over while it
+    quiesces on lease loss.  Optionally heals ``heal_after`` seconds
+    later (``None`` means the partition is permanent)."""
+
+    at: float
+    driver_id: int
+    heal_after: Optional[float] = None
+
+
 Fault = Union[MachineCrash, DiskFault, TransientSlowdown,
               NetworkDegradation, LinkPartition, StorageNodeCrash,
-              BlockCorruption]
+              BlockCorruption, DriverCrash, DriverPartition]
 
 _KIND_ORDER = {MachineCrash: 0, DiskFault: 1, TransientSlowdown: 2,
                NetworkDegradation: 3, LinkPartition: 4,
-               StorageNodeCrash: 5, BlockCorruption: 6}
+               StorageNodeCrash: 5, BlockCorruption: 6,
+               DriverCrash: 7, DriverPartition: 8}
 
 
 def _sort_ids(fault: Fault) -> tuple:
@@ -131,6 +160,8 @@ def _sort_ids(fault: Fault) -> tuple:
         return (fault.src_machine_id, fault.dst_machine_id)
     if isinstance(fault, (StorageNodeCrash, BlockCorruption)):
         return (fault.node_index, -1)
+    if isinstance(fault, (DriverCrash, DriverPartition)):
+        return (fault.driver_id, -1)
     return (fault.machine_id, -1)
 
 
@@ -157,6 +188,18 @@ class FaultPlan:
                 raise PlanError(f"restart_after must be > 0: {fault!r}")
             if isinstance(fault, BlockCorruption) and fault.block_seq < 0:
                 raise PlanError(f"block_seq must be >= 0: {fault!r}")
+            return
+        if isinstance(fault, (DriverCrash, DriverPartition)):
+            if fault.driver_id < 0:
+                raise PlanError(f"driver_id must be >= 0: {fault!r}")
+            if isinstance(fault, DriverCrash) and \
+                    fault.restart_after is not None and \
+                    not (fault.restart_after > 0):
+                raise PlanError(f"restart_after must be > 0: {fault!r}")
+            if isinstance(fault, DriverPartition) and \
+                    fault.heal_after is not None and \
+                    not (fault.heal_after > 0):
+                raise PlanError(f"heal_after must be > 0: {fault!r}")
             return
         if not isinstance(fault, LinkPartition) and fault.machine_id < 0:
             raise PlanError(f"machine_id must be >= 0: {fault!r}")
@@ -199,22 +242,25 @@ class FaultPlan:
 
 
 #: Kind names accepted by :func:`random_plan`'s ``kind_weights``.
-_KIND_NAMES = ("crash", "disk", "slowdown", "degradation", "partition")
+_KIND_NAMES = ("crash", "disk", "slowdown", "degradation", "partition",
+               "driver-crash", "driver-partition")
 
 
 def random_plan(rng: RngStreams, machine_ids: Sequence[int],
                 horizon_s: float, num_faults: int = 1,
                 restart_after: Optional[float] = None,
                 kind_weights: Optional[Dict[str, float]] = None,
-                num_disks: int = 1) -> FaultPlan:
+                num_disks: int = 1, num_drivers: int = 0) -> FaultPlan:
     """Sample ``num_faults`` faults from a seeded stream.
 
     Without ``kind_weights`` every fault is a :class:`MachineCrash`
     (the historical behavior).  With it, each fault's kind is drawn
     from the weighted distribution over ``{"crash", "disk",
-    "slowdown", "degradation", "partition"}`` using the *same* seeded
-    stream, so the same (seed, machine set, horizon, weights) always
-    yields the same plan.  ``num_disks`` bounds sampled disk indices.
+    "slowdown", "degradation", "partition", "driver-crash",
+    "driver-partition"}`` using the *same* seeded stream, so the same
+    (seed, machine set, horizon, weights) always yields the same plan.
+    ``num_disks`` bounds sampled disk indices; ``num_drivers`` bounds
+    sampled driver ids and must be > 0 to weight the driver kinds.
     """
     stream = rng.stream("fault-plan")
     machines = sorted(machine_ids)
@@ -226,6 +272,9 @@ def random_plan(rng: RngStreams, machine_ids: Sequence[int],
         weights = [kind_weights[k] for k in kinds]
         if not kinds:
             raise PlanError("kind_weights has no positive weight")
+        if num_drivers < 1 and any(k.startswith("driver-") for k in kinds):
+            raise PlanError(
+                "driver fault kinds need num_drivers >= 1")
     faults: List[Fault] = []
     for _ in range(num_faults):
         machine_id = stream.choice(machines)
@@ -252,6 +301,14 @@ def random_plan(rng: RngStreams, machine_ids: Sequence[int],
                 up_factor=stream.uniform(2.0, 10.0),
                 down_factor=stream.uniform(2.0, 10.0),
                 duration=stream.uniform(horizon_s / 10, horizon_s / 2)))
+        elif kind == "driver-crash":
+            faults.append(DriverCrash(
+                at=at, driver_id=stream.randrange(num_drivers),
+                restart_after=restart_after))
+        elif kind == "driver-partition":
+            faults.append(DriverPartition(
+                at=at, driver_id=stream.randrange(num_drivers),
+                heal_after=stream.uniform(horizon_s / 10, horizon_s / 2)))
         else:
             others = [m for m in machines if m != machine_id]
             if not others:

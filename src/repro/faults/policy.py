@@ -9,14 +9,25 @@ reproducible from (workload, plan, policy, seed) alone.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
 
 __all__ = ["RecoveryPolicy"]
 
 
 @dataclass(frozen=True)
 class RecoveryPolicy:
-    """How the engine responds to task failures and stragglers."""
+    """How the engine responds to task failures and stragglers.
+
+    All backoff fields are validated at construction: a NaN or negative
+    delay would poison the event heap (``timeout(nan)`` compares as
+    neither earlier nor later than anything), and an infinite or
+    missing cap would let ``backoff_factor ** failures`` grow without
+    bound across many retries.  ``backoff_max_s`` is that validated
+    cap: no retry ever waits longer, however many attempts preceded it.
+    """
 
     #: Give up on a task after this many genuinely failed attempts
     #: (killed attempts -- crashes, lost speculation races -- are free).
@@ -24,6 +35,8 @@ class RecoveryPolicy:
     #: Exponential backoff before retrying a failed attempt.
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
+    #: Hard cap on any single retry delay (the validated ``max_backoff``
+    #: bound; must be finite and > 0).
     backoff_max_s: float = 10.0
     #: Fetch failures re-run lineage rather than burning attempts, but
     #: are still bounded to catch unrecoverable shuffles.
@@ -41,8 +54,43 @@ class RecoveryPolicy:
     speculation_percentile: float = 0.75
     speculation_multiplier: float = 1.5
 
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1: {self.max_attempts}")
+        if not (math.isfinite(self.backoff_base_s)
+                and self.backoff_base_s >= 0):
+            raise ConfigError(
+                f"backoff_base_s must be finite and >= 0: "
+                f"{self.backoff_base_s}")
+        if not (math.isfinite(self.backoff_factor)
+                and self.backoff_factor >= 1.0):
+            raise ConfigError(
+                f"backoff_factor must be finite and >= 1: "
+                f"{self.backoff_factor}")
+        if not (math.isfinite(self.backoff_max_s)
+                and self.backoff_max_s > 0):
+            raise ConfigError(
+                f"backoff_max_s must be finite and > 0: "
+                f"{self.backoff_max_s}")
+        if self.max_fetch_retries < 1:
+            raise ConfigError(
+                f"max_fetch_retries must be >= 1: {self.max_fetch_retries}")
+        if not (math.isfinite(self.speculation_interval_s)
+                and self.speculation_interval_s > 0):
+            raise ConfigError(
+                f"speculation_interval_s must be finite and > 0: "
+                f"{self.speculation_interval_s}")
+
     def backoff_s(self, failures: int) -> float:
-        """Delay before retry number ``failures`` (1-based)."""
-        delay = self.backoff_base_s * (
-            self.backoff_factor ** max(failures - 1, 0))
+        """Delay before retry number ``failures`` (1-based).
+
+        Capped multiplicatively, so the exponent can never overflow no
+        matter how many failures accumulate.
+        """
+        delay = self.backoff_base_s
+        for _ in range(max(failures - 1, 0)):
+            delay *= self.backoff_factor
+            if delay >= self.backoff_max_s:
+                return self.backoff_max_s
         return min(self.backoff_max_s, delay)

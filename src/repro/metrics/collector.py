@@ -16,12 +16,13 @@ from itertools import count
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.metrics.events import (CPU, DISK, NETWORK, FaultEventRecord,
-                                  HealthEventRecord, JobRecord,
-                                  MonotaskRecord, ResourceUsageRecord,
-                                  ServeRecord, SpeculationRecord,
-                                  StageRecord, TaskAttemptRecord,
-                                  TaskRecord, TransferRecord)
+from repro.metrics.events import (CPU, DISK, NETWORK, DriverEventRecord,
+                                  FaultEventRecord, HealthEventRecord,
+                                  JobRecord, MonotaskRecord,
+                                  ResourceUsageRecord, ServeRecord,
+                                  SpeculationRecord, StageRecord,
+                                  TaskAttemptRecord, TaskRecord,
+                                  TransferRecord)
 from repro.trace.spans import (LINK_DAG_EDGE, LINK_QUEUE_WAIT,
                                LINK_REDISPATCH, LINK_RETRY,
                                LINK_SHUFFLE_FETCH, LINK_SPECULATION,
@@ -42,6 +43,7 @@ class MetricsCollector:
         self.attempts: List[TaskAttemptRecord] = []
         self.faults: List[FaultEventRecord] = []
         self.health_events: List[HealthEventRecord] = []
+        self.driver_events: List[DriverEventRecord] = []
         self.transfers: List[TransferRecord] = []
         self.speculations: List[SpeculationRecord] = []
         self.serves: List[ServeRecord] = []
@@ -165,6 +167,17 @@ class MetricsCollector:
     def record_health(self, record: HealthEventRecord) -> None:
         """Append one health-monitor decision."""
         self.health_events.append(record)
+
+    def record_driver(self, record: DriverEventRecord) -> None:
+        """Append one control-plane membership/failover decision."""
+        self.driver_events.append(record)
+
+    def driver_records(self, kind: Optional[str] = None
+                       ) -> List[DriverEventRecord]:
+        """Control-plane events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self.driver_events)
+        return [d for d in self.driver_events if d.kind == kind]
 
     def record_transfer(self, record: TransferRecord) -> None:
         """Append one receiver-measured per-source response flow."""

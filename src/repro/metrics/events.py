@@ -24,6 +24,7 @@ __all__ = [
     "TaskAttemptRecord",
     "FaultEventRecord",
     "HealthEventRecord",
+    "DriverEventRecord",
     "SpeculationRecord",
     "ServeRecord",
     "TransferRecord",
@@ -219,6 +220,32 @@ class HealthEventRecord:
     resource: str = ""
     #: Observed rate relative to the cluster median (1.0 = typical).
     relative_rate: float = float("nan")
+    detail: str = ""
+
+
+@dataclass
+class DriverEventRecord:
+    """One control-plane membership or failover decision.
+
+    ``kind`` is one of: ``"heartbeat-miss"`` / ``"heartbeat-restore"``
+    (a peer fell out of / rejoined a replica's membership view),
+    ``"election"`` / ``"leader"`` (a bully election ran and who won),
+    ``"isolated"`` / ``"rejoin"`` (a replica lost sight of every peer
+    and stopped dispatching, then healed), ``"driver-crash"`` /
+    ``"driver-restart"`` / ``"driver-partition"`` /
+    ``"partition-heal"`` (injected faults), ``"reassign"`` (the leader
+    moved a tenant to a new owner), ``"checkpoint-restore"`` (an
+    adopter read a tenant checkpoint back from the data tier), and
+    ``"resume"`` / ``"replay"`` / ``"lost"`` (per-request failover
+    outcomes).  ``driver_id`` is the replica the event happened *on*;
+    ``peer_id`` the replica it is *about* (-1 when not applicable).
+    """
+
+    kind: str
+    driver_id: int
+    at: float
+    peer_id: int = -1
+    tenant: str = ""
     detail: str = ""
 
 

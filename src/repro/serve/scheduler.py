@@ -44,6 +44,14 @@ class JobScheduler:
     def credit(self, tenant: str, service_s: float) -> None:
         """Account completed service time against a tenant."""
 
+    def restore_virtual_time(self, tenant: str, virtual_time: float) -> None:
+        """Adopt a tenant's accrued accounting from a checkpoint.
+
+        Stateless schedulers ignore it; the fair scheduler restores the
+        tenant's virtual time so a failed-over tenant keeps its place in
+        the long-run share rather than restarting at zero.
+        """
+
 
 class FifoScheduler(JobScheduler):
     """Arrival order, tenant-blind (the degenerate baseline)."""
@@ -78,6 +86,10 @@ class WeightedFairScheduler(JobScheduler):
         weight = self._weights.get(tenant, 1.0)
         self._virtual[tenant] = (self._virtual.get(tenant, 0.0)
                                  + service_s / weight)
+
+    def restore_virtual_time(self, tenant: str, virtual_time: float) -> None:
+        self._virtual[tenant] = max(self._virtual.get(tenant, 0.0),
+                                    virtual_time)
 
 
 class DeadlineScheduler(JobScheduler):

@@ -141,7 +141,15 @@ class JobServer:
 
     def add_tenant(self, name: str, weight: float = 1.0,
                    slo_s: Optional[float] = None) -> Tenant:
-        """Register a tenant (idempotent for the same name)."""
+        """Register a tenant; duplicate names are an error.
+
+        Silently replacing an existing registration would rewrite the
+        tenant's weight and SLO mid-stream (and desynchronize the fair
+        scheduler's accumulated virtual time), so a duplicate raises
+        -- mirroring the engine's duplicate-job-id check.
+        """
+        if name in self.tenants:
+            raise SimulationError(f"tenant {name!r} is already registered")
         tenant = Tenant(name, weight=weight, slo_s=slo_s)
         self.tenants[name] = tenant
         self.scheduler.register_tenant(name, weight)

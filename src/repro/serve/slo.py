@@ -37,6 +37,9 @@ class TenantStats:
     completed: int = 0
     failed: int = 0
     shed: int = 0
+    #: Requests lost outright (owning driver died with no checkpoint to
+    #: fail over from); zero outside control-plane runs.
+    lost: int = 0
     #: Completed-request latency percentiles (arrival -> completion).
     p50_s: Optional[float] = None
     p95_s: Optional[float] = None
@@ -50,7 +53,7 @@ class TenantStats:
     @property
     def submitted(self) -> int:
         """All requests the tenant submitted, whatever their fate."""
-        return self.completed + self.failed + self.shed
+        return self.completed + self.failed + self.shed + self.lost
 
     @property
     def attainment(self) -> Optional[float]:
@@ -81,6 +84,9 @@ def _tenant_stats(tenant: str, records: Sequence[ServeRecord]
             continue
         if record.outcome == "failed":
             stats.failed += 1
+            continue
+        if record.outcome == "lost":
+            stats.lost += 1
             continue
         stats.completed += 1
         latencies.append(record.latency_s)
@@ -199,6 +205,11 @@ class ServeReport:
         return sum(s.shed for s in self.stats)
 
     @property
+    def total_lost(self) -> int:
+        """Requests lost to unrecovered driver failures, across tenants."""
+        return sum(s.lost for s in self.stats)
+
+    @property
     def total_completed(self) -> int:
         """Requests served to completion, across tenants."""
         return sum(s.completed for s in self.stats)
@@ -214,21 +225,29 @@ class ServeReport:
         """Render the report; byte-identical across identical runs."""
         title = (f"SLO report ({self.engine_name}, "
                  f"{self.duration_s:.1f}s simulated)")
+        # The "lost" column appears only when a control-plane run
+        # actually lost requests, so plain serving reports stay
+        # byte-identical to earlier releases.
+        with_lost = self.total_lost > 0
         rows = []
         for s in self.stats:
             attainment = s.attainment
-            rows.append([
-                s.tenant, s.submitted, s.completed, s.failed, s.shed,
+            row = [s.tenant, s.submitted, s.completed, s.failed, s.shed]
+            if with_lost:
+                row.append(s.lost)
+            row.extend([
                 _cell(s.p50_s), _cell(s.p95_s), _cell(s.p99_s),
                 _cell(s.mean_queue_delay_s), _cell(s.mean_service_s),
                 _cell(s.slo_s, 1),
                 "-" if attainment is None else f"{100 * attainment:.1f}%",
             ])
-        lines = [format_table(
-            ["tenant", "jobs", "done", "failed", "shed", "p50 (s)",
-             "p95 (s)", "p99 (s)", "queue (s)", "service (s)", "SLO (s)",
-             "attained"],
-            rows, title=title)]
+            rows.append(row)
+        header = ["tenant", "jobs", "done", "failed", "shed"]
+        if with_lost:
+            header.append("lost")
+        header.extend(["p50 (s)", "p95 (s)", "p99 (s)", "queue (s)",
+                       "service (s)", "SLO (s)", "attained"])
+        lines = [format_table(header, rows, title=title)]
         if self.queue_attribution:
             attrib_rows = [
                 [tenant,

@@ -34,6 +34,7 @@ __all__ = [
     "SPAN_STAGE",
     "SPAN_ATTEMPT",
     "SPAN_MONOTASK",
+    "SPAN_FAILOVER",
     "LINK_DAG_EDGE",
     "LINK_SHUFFLE_FETCH",
     "LINK_QUEUE_WAIT",
@@ -42,6 +43,7 @@ __all__ = [
     "LINK_REDISPATCH",
     "LINK_DATASVC_READ",
     "LINK_DATASVC_WRITE",
+    "LINK_FAILOVER_RESUME",
     "span_to_json",
     "link_to_json",
 ]
@@ -51,6 +53,9 @@ SPAN_JOB = "job"
 SPAN_STAGE = "stage"
 SPAN_ATTEMPT = "attempt"
 SPAN_MONOTASK = "monotask"
+#: A control-plane failover: detection of a dead driver through the
+#: adopter finishing checkpoint restore (not parented under any job).
+SPAN_FAILOVER = "failover"
 
 #: Causal link kinds.
 LINK_DAG_EDGE = "dag-edge"
@@ -63,6 +68,9 @@ LINK_REDISPATCH = "redispatch"
 #: fetch, and a client write landing in the data tier.
 LINK_DATASVC_READ = "datasvc-read"
 LINK_DATASVC_WRITE = "datasvc-write"
+#: A failover span to the root span of each in-flight job the adopting
+#: driver resumed (rather than replayed) after a driver crash.
+LINK_FAILOVER_RESUME = "failover-resume"
 
 
 @dataclass(frozen=True)

@@ -70,3 +70,57 @@ class TestSameSeedSameRun:
         # Sanity check that the observables are sensitive at all: two
         # different seeds must not collide on the full fingerprint.
         assert run_stream("monospark", 0) != run_stream("monospark", 1)
+
+
+# ---------------------------------------------------------------------------
+# Control plane: checkpointing must not perturb job timing
+# ---------------------------------------------------------------------------
+
+def run_plane_stream(seed: int, checkpoint: bool):
+    """One seeded multi-driver stream; job-timing observables only.
+
+    The checkpoint tier rides a dedicated metadata network and commits
+    its content at issue time, so turning checkpointing off must leave
+    every job's finish time and critical path float-identical --
+    ``events_scheduled`` legitimately differs (the checkpoint I/O
+    events themselves), so it is deliberately NOT part of this
+    fingerprint.
+    """
+    from repro.controlplane import ControlPlane, ControlPlanePolicy
+
+    cluster = hdd_cluster(num_machines=2, num_disks=2, seed=seed)
+    ctx = AnalyticsContext(cluster, engine="monospark")
+    policy = ControlPlanePolicy(control_service_s=0.05,
+                                checkpoint=checkpoint, failover=checkpoint)
+    plane = ControlPlane(ctx, num_drivers=2, config=policy, seed=seed)
+    template = wordcount_template(ctx, num_blocks=2, block_mb=4.0,
+                                  seed=seed)
+    for tenant in ("alpha", "bravo"):
+        plane.add_workload(tenant, template,
+                           PoissonArrivals(0.2, horizon_s=40.0))
+    plane.run()
+    jobs = sorted(ctx.metrics.jobs)
+    finishes = [(job_id, ctx.metrics.jobs[job_id].start,
+                 ctx.metrics.jobs[job_id].end) for job_id in jobs]
+    paths = []
+    for job_id in jobs:
+        record = ctx.metrics.jobs[job_id]
+        if record.end != record.end:  # NaN: unfinished
+            continue
+        report = critical_path(ctx.metrics, job_id, engine="monospark")
+        paths.append((job_id, report.attributable,
+                      [(s.start, s.end, s.kind, s.resource, s.machine_id,
+                        s.phase, s.span_id) for s in report.segments]))
+    return {"finishes": finishes, "paths": paths}
+
+
+class TestControlPlaneDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_identical(self, seed):
+        assert (run_plane_stream(seed, checkpoint=True)
+                == run_plane_stream(seed, checkpoint=True))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_checkpointing_is_timing_invisible(self, seed):
+        assert (run_plane_stream(seed, checkpoint=True)
+                == run_plane_stream(seed, checkpoint=False))

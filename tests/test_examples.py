@@ -49,6 +49,13 @@ class TestExamples:
         assert "integrity suspicions" in out
         assert "same answer, same bytes" in out
 
+    def test_driver_failover(self, capsys):
+        out = run_example("driver_failover", capsys)
+        assert "won the election" in out
+        assert "in-flight job(s) resumed" in out
+        assert "0 lost" in out
+        assert "lost requests into zero" in out
+
     def test_clarity_pipeline(self, capsys):
         out = run_example("clarity_pipeline", capsys)
         assert "bottleneck: disk" in out
