@@ -24,6 +24,14 @@ Three benchmarks, selected with ``--bench``:
   ``BENCH_controlplane.json``: throughput, p95, election/failover and
   lost-vs-resumed counters that pin the "a driver crash loses no
   requests" contrast.
+* ``obs`` -- runs the seeded observability scenarios
+  (``repro.obs.bench``: a silent fault-free stream, a fail-slow machine
+  that must be named by alerts before the health monitor excludes it,
+  a leader crash that must fire driver-down) and writes
+  ``BENCH_obs.json``: the full alert timelines plus detection-latency
+  invariants, diffed exactly; the plane's measured self-overhead is
+  budget-gated against the committed
+  ``workload.overhead_budget_ms_per_sim_s``, never diffed.
 
 The committed copy at the repo root is the baseline; the CI
 clarity-bench / kernel-bench / datasvc-bench jobs regenerate the file
@@ -46,6 +54,8 @@ Usage:
     python scripts/bench_trajectory.py --bench controlplane
         [--output BENCH_controlplane.json] [--check BASELINE]
         [--repeats 2]
+    python scripts/bench_trajectory.py --bench obs
+        [--output BENCH_obs.json] [--check BASELINE] [--repeats 2]
 
 Exit status 0 on match, 1 on drift or a failed acceptance gate.
 """
@@ -67,6 +77,7 @@ DEFAULT_OUTPUTS = {
     "kernel": os.path.join(_ROOT, "BENCH_kernel.json"),
     "datasvc": os.path.join(_ROOT, "BENCH_datasvc.json"),
     "controlplane": os.path.join(_ROOT, "BENCH_controlplane.json"),
+    "obs": os.path.join(_ROOT, "BENCH_obs.json"),
 }
 
 
@@ -249,6 +260,52 @@ def check_controlplane(result: dict, baseline_path: str) -> int:
     return 0
 
 
+# -- obs ----------------------------------------------------------------------
+
+
+def compute_obs(repeats: int) -> dict:
+    """The seeded observability scenarios, byte-stable across repeats."""
+    from repro.obs.bench import (ObsWorkload, run_obs_benchmark,
+                                 trajectory_summary)
+    workload = ObsWorkload()
+    result = run_obs_benchmark(workload, repeats=repeats)
+    return trajectory_summary(result, workload, repeats=repeats)
+
+
+def check_obs(result: dict, baseline_path: str) -> int:
+    """Exact-diff workload + invariants; budget-gate the overhead."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section in ("workload", "invariants"):
+        ours = _numbers(section, result.get(section, {}))
+        theirs = _numbers(section, baseline.get(section, {}))
+        for path in sorted(set(ours) | set(theirs)):
+            if ours.get(path) != theirs.get(path):
+                failures.append(
+                    f"{path}: baseline {theirs.get(path)!r} vs current "
+                    f"{ours.get(path)!r} (must match exactly)")
+    slow = result["invariants"]["fail_slow"]
+    base_slow = baseline.get("invariants", {}).get("fail_slow", {})
+    if slow.get("timeline") != base_slow.get("timeline"):
+        failures.append("fail_slow alert timeline drifted (must match "
+                        "to the byte)")
+    budget = baseline.get("workload", {}).get(
+        "overhead_budget_ms_per_sim_s")
+    measured = result.get("observed_overhead", {}).get("ms_per_sim_s")
+    if budget is not None and measured is not None and measured > budget:
+        failures.append(f"self-overhead {measured} ms/sim-s exceeds the "
+                        f"committed budget {budget}")
+    if failures:
+        print(f"obs trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"obs trajectory matches {baseline_path} (exact invariants; "
+          f"overhead {measured} of {budget} ms/sim-s budget)")
+    return 0
+
+
 # -- driver -------------------------------------------------------------------
 
 
@@ -256,7 +313,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench",
                         choices=("clarity", "kernel", "datasvc",
-                                 "controlplane"),
+                                 "controlplane", "obs"),
                         default="clarity",
                         help="which trajectory to run (default clarity)")
     parser.add_argument("--output", default=None,
@@ -299,6 +356,19 @@ def main(argv=None) -> int:
               f"{inv['crash_failover_off']['jobs_lost']} without")
         if args.check is not None:
             return check_controlplane(result, args.check)
+        return 0
+
+    if args.bench == "obs":
+        result = compute_obs(args.repeats)
+        write(result, output)
+        slow = result["invariants"]["fail_slow"]
+        print(f"wrote {output}: source-slow fired at "
+              f"{slow['source_slow_fired_at']}s (fault at "
+              f"{result['workload']['slow_at']}s, exclusion at "
+              f"{slow['health_excluded_at']}s); overhead "
+              f"{result['observed_overhead']['ms_per_sim_s']} ms/sim-s")
+        if args.check is not None:
+            return check_obs(result, args.check)
         return 0
 
     if args.bench == "clarity":

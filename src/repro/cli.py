@@ -15,6 +15,9 @@ Examples::
     python -m repro health --degrade-machine 1 --factor 10
     python -m repro datasvc --nodes 3 --replication 2 --crash-machine 1
     python -m repro controlplane --drivers 4 --crash-driver 3 --crash-at 20
+    python -m repro obs alerts --degrade-machine 1 --factor 10
+    python -m repro obs events --min-severity warning
+    python -m repro obs watch --jobs 20
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
 additionally exercise the §6 performance-clarity machinery, ``serve``
@@ -255,6 +258,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-failover", action="store_true",
                    help="disable checkpointing and failover (for "
                         "contrast; crashed shards lose their requests)")
+
+    p = sub.add_parser("obs",
+                       help="stream a fail-slow scenario through the "
+                            "alerting plane: burn-rate SLO alerts, "
+                            "source attribution, event journal")
+    p.add_argument("action", nargs="?", default="alerts",
+                   choices=["alerts", "events", "watch"],
+                   help="alerts: run the scenario, print the alert "
+                        "timeline and serve report (default); events: "
+                        "print the unified event journal; watch: print "
+                        "alert transitions live as the stream runs")
+    common(p, default_machines=4)
+    p.set_defaults(fraction=0.01)
+    p.add_argument("--degrade-machine", type=int, default=1)
+    p.add_argument("--degrade-at", type=float, default=5.0)
+    p.add_argument("--factor", type=float, default=10.0,
+                   help="NIC slowdown factor (>1 = slower; 1 = healthy "
+                        "run, nothing should fire)")
+    p.add_argument("--jobs", type=int, default=20,
+                   help="word-count requests in the arrival trace")
+    p.add_argument("--period", type=float, default=2.5,
+                   help="seconds between arrivals")
+    p.add_argument("--slo", type=float, default=3.0,
+                   help="tenant SLO in seconds (the burn-rate target)")
+    p.add_argument("--min-severity", default="info",
+                   choices=["info", "warning", "critical"],
+                   help="events: lowest journal severity to print")
+    p.add_argument("--journal", default=None,
+                   help="also tee the journal to this JSONL file")
+    p.add_argument("--no-monitor", action="store_true",
+                   help="run without the health monitor (alerts still "
+                        "fire; nothing excludes the machine)")
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -722,6 +757,78 @@ def _cmd_controlplane(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.faults import FaultInjector, fail_slow_plan
+    from repro.health import HealthMonitor, HealthPolicy
+    from repro.obs import ObservabilityPlane
+    from repro.serve import JobServer, TraceArrivals, wordcount_template
+
+    if not 0 <= args.degrade_machine < args.machines:
+        print(f"--degrade-machine must be in [0, {args.machines})")
+        return 2
+    cluster = _make_cluster(args)
+    ctx = AnalyticsContext(cluster, engine=args.engine)
+    env = ctx.engine.env
+    if args.factor != 1.0:
+        plan = fail_slow_plan(machine_id=args.degrade_machine,
+                              at=args.degrade_at, factor=args.factor)
+        FaultInjector(ctx.engine, plan).start()
+    monitor = None
+    if not args.no_monitor:
+        monitor = HealthMonitor(ctx.engine, HealthPolicy())
+    obs = ObservabilityPlane(journal_path=args.journal)
+    server = JobServer(ctx, seed=args.seed, health=monitor, obs=obs)
+    server.add_tenant("analytics", slo_s=args.slo)
+    template = wordcount_template(ctx, num_blocks=args.machines,
+                                  block_mb=16.0, seed=args.seed)
+    server.add_workload(
+        "analytics", template,
+        TraceArrivals([1.0 + args.period * i for i in range(args.jobs)]))
+    print(f"degrade machine {args.degrade_machine} NIC {args.factor:g}x "
+          f"at {format_seconds(args.degrade_at)} on "
+          f"{ctx.cluster.describe()}; SLO {args.slo:g}s; monitor "
+          f"{'off' if args.no_monitor else 'on'}")
+
+    if args.action == "watch":
+        def follow():
+            seen = 0
+            while True:
+                yield env.timeout(obs.interval_s)
+                transitions = obs.alert_timeline()
+                for record in transitions[seen:]:
+                    exemplar = (f"  exemplar={record.trace_id}/"
+                                f"{record.span_id}"
+                                if record.span_id >= 0 else "")
+                    value = ("" if record.value != record.value
+                             else f" value={record.value:.3f}")
+                    print(f"  t={record.at:7.2f}  {record.kind:9s} "
+                          f"{record.rule}{{{record.labels}}}"
+                          f"{value}{exemplar}")
+                seen = len(transitions)
+        env.process(follow())
+
+    report = server.run()
+    obs.close()
+    if args.action == "watch":
+        firing = obs.firing()
+        names = [f"{a.rule}{{{_labels_str(a)}}}" for a in firing]
+        print(f"still firing at drain: {', '.join(names) or 'none'}")
+        return 0
+    if args.action == "events":
+        print(obs.journal.format(min_severity=args.min_severity))
+        if args.journal:
+            print(f"\nwrote {obs.journal_sink.written} journal events "
+                  f"to {args.journal}")
+        return 0
+    print(report.format())
+    return 0
+
+
+def _labels_str(alert) -> str:
+    from repro.obs import format_labels
+    return format_labels(alert.labels)
+
+
 def _cmd_reproduce(args) -> int:
     import glob
     import os
@@ -764,6 +871,7 @@ _COMMANDS = {
     "health": _cmd_health,
     "datasvc": _cmd_datasvc,
     "controlplane": _cmd_controlplane,
+    "obs": _cmd_obs,
     "reproduce": _cmd_reproduce,
 }
 

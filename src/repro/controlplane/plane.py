@@ -89,7 +89,8 @@ class ControlPlane:
                  config: Optional[ControlPlanePolicy] = None,
                  admission: Optional[AdmissionController] = None,
                  scheduling: str = "weighted_fair", seed: int = 0,
-                 health=None, telemetry=None, clarity=None) -> None:
+                 health=None, telemetry=None, clarity=None,
+                 obs=None) -> None:
         if num_drivers < 1:
             raise ConfigError(f"num_drivers must be >= 1: {num_drivers}")
         self.ctx = ctx
@@ -103,6 +104,10 @@ class ControlPlane:
         self.health = health
         self.telemetry = telemetry
         self.clarity = clarity
+        #: Optional :class:`repro.obs.ObservabilityPlane` (attached at
+        #: :meth:`run`, after ``engine.controlplane`` is set, so its
+        #: per-driver liveness gauges and driver-down rule exist).
+        self.obs = obs
         self.estimator = CostEstimator(ctx.engine)
         self.tenants: Dict[str, Tenant] = {}
         self.drivers: List[DriverReplica] = [
@@ -751,6 +756,11 @@ class ControlPlane:
         self._ran = True
         self._all_done = self.env.event()
         start = self.env.now
+        if self.obs is not None:
+            # Before the initial leader announcement, so even that
+            # first driver event lands in the unified journal.
+            self.obs.attach(self.engine, tenants=self.tenants)
+            self.obs.start()
         self.record_driver_event("leader", self.leader_id,
                                  detail="initial (highest id)")
         for driver in self.drivers:
@@ -780,6 +790,8 @@ class ControlPlane:
             self.health.stop()
         if self.telemetry is not None:
             self.telemetry.stop()
+        if self.obs is not None:
+            self.obs.stop()
         duration = self.env.now - start
         serve = ServeReport.from_metrics(
             self.metrics, engine_name=self.engine.name,
@@ -791,6 +803,8 @@ class ControlPlane:
         datasvc = getattr(self.engine, "datasvc", None)
         if datasvc is not None:
             serve.attach_datasvc(datasvc)
+        if self.obs is not None:
+            serve.attach_obs(self.obs)
         return self._report(serve, duration)
 
     def _report(self, serve: ServeReport,

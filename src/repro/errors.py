@@ -101,3 +101,8 @@ class ModelError(ReproError):
 class ClarityError(ReproError):
     """Invalid use of the clarity pipeline (time-series store,
     windowed aggregation, or the capacity advisor)."""
+
+
+class ObsError(ReproError):
+    """Invalid use of the observability plane (alert rules, the event
+    journal, or the drift detector)."""

@@ -12,6 +12,11 @@ the slices, the export carries the causal structure:
 * *async events* (``ph: b/e``) under a synthetic ``driver`` process
   show each job and stage as a nestable span, so the driver-side
   structure frames the per-machine work;
+* *instant events* (``ph: i``) on whole-run exports mark control-plane
+  membership changes (elections, failovers, crashes) and alert
+  lifecycle transitions on ``control``/``alerts`` tracks under the
+  driver process, pinning *when management state changed* onto the
+  same timeline as the work it reacted to;
 * *metadata events* (``ph: M``) name processes and order tracks CPU,
   disks, network, tasks -- top to bottom, the paper's resource order.
 
@@ -161,6 +166,39 @@ def trace_events(metrics: MetricsCollector,
                        "ts": round(stage.start * 1e6, 3)})
         events.append({**common, "name": name, "ph": "e",
                        "ts": round(stage.end * 1e6, 3)})
+
+    # Control-plane and alerting milestones as instant events under the
+    # driver process: elections/failovers and alert transitions pin the
+    # moments the cluster's management state changed onto the same
+    # timeline as the work.  Whole-run exports only -- a single job's
+    # trace window rarely contains them and their timestamps would dangle
+    # outside it.
+    if job_id is None:
+        for record in metrics.driver_events:
+            driver_used = True
+            events.append({
+                "name": f"{record.kind} d{record.driver_id}",
+                "cat": "control", "ph": "i", "s": "g",
+                "ts": round(record.at * 1e6, 3),
+                "pid": DRIVER_PID, "tid": "control",
+                "args": {"kind": record.kind, "driver": record.driver_id,
+                         "peer": record.peer_id, "tenant": record.tenant,
+                         "detail": record.detail},
+            })
+        for record in metrics.alerts:
+            driver_used = True
+            events.append({
+                "name": f"{record.kind}: {record.rule}",
+                "cat": "alert", "ph": "i", "s": "g",
+                "ts": round(record.at * 1e6, 3),
+                "pid": DRIVER_PID, "tid": "alerts",
+                "args": {"kind": record.kind, "rule": record.rule,
+                         "severity": record.severity,
+                         "labels": record.labels,
+                         "trace_id": record.trace_id,
+                         "span_id": record.span_id,
+                         "detail": record.detail},
+            })
 
     # Metadata: name processes, and name + order threads so tracks
     # render CPU, disks, network, tasks (the dead-_TRACK_ORDER fix).

@@ -16,8 +16,9 @@ from itertools import count
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.metrics.events import (CPU, DISK, NETWORK, DriverEventRecord,
-                                  FaultEventRecord, HealthEventRecord,
+from repro.metrics.events import (CPU, DISK, NETWORK, AlertEventRecord,
+                                  DriverEventRecord, FaultEventRecord,
+                                  HealthEventRecord,
                                   JobRecord, MonotaskRecord,
                                   ResourceUsageRecord, ServeRecord,
                                   SpeculationRecord, StageRecord,
@@ -47,6 +48,7 @@ class MetricsCollector:
         self.transfers: List[TransferRecord] = []
         self.speculations: List[SpeculationRecord] = []
         self.serves: List[ServeRecord] = []
+        self.alerts: List[AlertEventRecord] = []
         self.stages: Dict[Tuple[int, int], StageRecord] = {}
         self.jobs: Dict[int, JobRecord] = {}
         #: Every span ever opened, in open order (leaves are appended
@@ -72,6 +74,20 @@ class MetricsCollector:
         #: retry/speculation links between consecutive attempts.
         self._last_attempt_spans: Dict[Tuple[int, int, int], SpanRecord] = {}
         self._sinks: List = []
+        #: Callables invoked as ``fn(source, record)`` when an event
+        #: record lands (source: "fault" | "health" | "driver" |
+        #: "serve" | "alert").  The observability plane subscribes here
+        #: to fold every stream into one journal without per-call-site
+        #: wiring.
+        self._event_listeners: List = []
+
+    def add_event_listener(self, listener) -> None:
+        """Subscribe ``listener(source, record)`` to event records."""
+        self._event_listeners.append(listener)
+
+    def _notify(self, source: str, record) -> None:
+        for listener in self._event_listeners:
+            listener(source, record)
 
     # -- span plumbing -------------------------------------------------------------
 
@@ -163,14 +179,29 @@ class MetricsCollector:
     def record_fault(self, record: FaultEventRecord) -> None:
         """Append one injected-fault event."""
         self.faults.append(record)
+        self._notify("fault", record)
 
     def record_health(self, record: HealthEventRecord) -> None:
         """Append one health-monitor decision."""
         self.health_events.append(record)
+        self._notify("health", record)
 
     def record_driver(self, record: DriverEventRecord) -> None:
         """Append one control-plane membership/failover decision."""
         self.driver_events.append(record)
+        self._notify("driver", record)
+
+    def record_alert(self, record: AlertEventRecord) -> None:
+        """Append one alert-lifecycle transition."""
+        self.alerts.append(record)
+        self._notify("alert", record)
+
+    def alert_records(self, kind: Optional[str] = None,
+                      rule: Optional[str] = None) -> List[AlertEventRecord]:
+        """Alert transitions, optionally filtered by kind and/or rule."""
+        return [a for a in self.alerts
+                if (kind is None or a.kind == kind)
+                and (rule is None or a.rule == rule)]
 
     def driver_records(self, kind: Optional[str] = None
                        ) -> List[DriverEventRecord]:
@@ -196,6 +227,7 @@ class MetricsCollector:
     def record_serve(self, record: ServeRecord) -> None:
         """Append one served (or shed) job request."""
         self.serves.append(record)
+        self._notify("serve", record)
 
     def task_started(self, job_id: int, stage_id: int, task_index: int,
                      machine_id: int, now: float) -> TaskRecord:

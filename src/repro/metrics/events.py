@@ -25,6 +25,7 @@ __all__ = [
     "FaultEventRecord",
     "HealthEventRecord",
     "DriverEventRecord",
+    "AlertEventRecord",
     "SpeculationRecord",
     "ServeRecord",
     "TransferRecord",
@@ -246,6 +247,32 @@ class DriverEventRecord:
     at: float
     peer_id: int = -1
     tenant: str = ""
+    detail: str = ""
+
+
+@dataclass
+class AlertEventRecord:
+    """One alert-lifecycle transition from the observability plane.
+
+    ``kind`` is ``"pending"`` (the rule's condition just became true;
+    the alert waits out its ``for_s`` hold), ``"firing"``, or
+    ``"resolved"``.  ``labels`` is the canonical rendering of the
+    series labels the alert is keyed by (``machine=1,resource=network``)
+    -- the dedup key, so one misbehaving series produces one alert, not
+    one per evaluation tick.  ``trace_id``/``span_id`` carry the
+    exemplar: the worst recent contributor's critical-path span, so a
+    firing alert links straight to the offending job (span_id -1 = no
+    exemplar available, e.g. on the Spark engine).
+    """
+
+    kind: str  # pending | firing | resolved
+    rule: str
+    at: float
+    severity: str = "warning"
+    labels: str = ""
+    value: float = float("nan")
+    trace_id: str = ""
+    span_id: int = -1
     detail: str = ""
 
 

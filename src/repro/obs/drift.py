@@ -1,0 +1,211 @@
+"""Model-drift detection: measured attribution vs the ideal model.
+
+Monotasks' performance clarity rests on the claim that the ideal-rate
+model *predicts* job runtime from per-resource monotask measurements
+(§6 of the paper validates modeled-vs-measured across workloads).
+That makes the model itself a health signal -- but not via the raw
+ratio: the model divides by *aggregate cluster* capacity, so a job too
+small to fill the cluster runs at a measured/modeled ratio well above
+1.0 even when perfectly healthy, and the bias is workload-shaped, not
+a constant.  What is stable on a healthy cluster is that a given job
+*template* keeps producing the same ratio run after run.
+
+So the detector self-calibrates: the first ``baseline_samples``
+attributable jobs per template establish that template's baseline
+ratio (their median), and from then on every job is scored by its
+*normalized* ratio -- measured/modeled divided by the baseline.  A
+healthy cluster holds the normalized ratio at ~1.0; a sick NIC, a
+contended disk, or a failing-slow machine pushes the jobs it touches
+off their baseline before anyone has diagnosed why, and the verdict
+names the worst stage.  Firing condition: normalized ratio outside
+``[1/envelope, envelope]``.
+
+On the Spark-style engine the model has no per-resource measurements
+to work from (§6.6) -- ``profile_job`` raises ``ModelError`` -- and
+every verdict is NOT ATTRIBUTABLE: the same observability cliff the
+paper demonstrates offline, here online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ModelError, ObsError
+from repro.model.ideal import hardware_profile, model_stage, profile_job
+from repro.stats import percentile
+
+__all__ = ["DriftVerdict", "ModelDriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """One completed job's modeled-vs-measured comparison."""
+
+    job_id: int
+    tenant: str
+    at: float
+    #: False on the Spark-style engine: no monotask measurements, no
+    #: model, no attribution (the §6.6 contrast, online).
+    attributable: bool
+    template: str = ""
+    measured_s: float = float("nan")
+    modeled_s: float = float("nan")
+    #: Raw measured / modeled (carries the model's small-job bias).
+    ratio: float = float("nan")
+    #: The template's calibrated healthy ratio (nan while calibrating).
+    baseline: float = float("nan")
+    #: ratio / baseline; ~1.0 = the template behaves as it always has.
+    normalized: float = float("nan")
+    drifting: bool = False
+    worst_stage_id: int = -1
+    worst_stage_ratio: float = float("nan")
+    reason: str = ""
+
+    @property
+    def calibrating(self) -> bool:
+        """True while this verdict only fed the baseline."""
+        return self.attributable and self.baseline != self.baseline
+
+
+class ModelDriftDetector:
+    """Compares completed jobs against the ideal model, online.
+
+    ``envelope`` is the tolerated multiplicative drift of the
+    *normalized* ratio: a job drifts when ``normalized > envelope`` or
+    ``normalized < 1 / envelope`` (running far *faster* than baseline
+    also means the detector's picture of the workload is stale).
+    ``baseline_samples`` attributable jobs per template calibrate that
+    template's baseline (their median) before scoring starts.
+    Verdicts are kept newest-last, bounded by ``keep``;
+    :meth:`drift_ratio` feeds the plane's ``repro_obs_drift_ratio``
+    gauge with the mean normalized ratio over the last ``window``
+    scored verdicts (1.0 when there are none, so the gauge reads "no
+    drift" on an idle or still-calibrating cluster).
+    """
+
+    def __init__(self, cluster=None, envelope: float = 2.0,
+                 baseline_samples: int = 2, keep: int = 256,
+                 window: int = 8) -> None:
+        if not envelope > 1.0:
+            raise ObsError(
+                f"drift envelope must be > 1.0: {envelope!r}")
+        if baseline_samples < 1:
+            raise ObsError(
+                f"baseline_samples must be >= 1: {baseline_samples}")
+        if keep < 1 or window < 1:
+            raise ObsError(
+                f"keep and window must be >= 1: {keep}, {window}")
+        self.cluster = cluster
+        self.envelope = envelope
+        self.baseline_samples = baseline_samples
+        self.keep = keep
+        self.window = window
+        self.verdicts: List[DriftVerdict] = []
+        #: template -> calibration ratios (until baseline_samples).
+        self._calibration: Dict[str, List[float]] = {}
+        #: template -> established baseline ratio.
+        self._baselines: Dict[str, float] = {}
+        self._hardware = None
+
+    def _hardware_profile(self):
+        if self._hardware is None:
+            if self.cluster is None:
+                raise ObsError("drift detector has no cluster to "
+                               "profile hardware from")
+            self._hardware = hardware_profile(self.cluster)
+        return self._hardware
+
+    def baseline_for(self, template: str = "") -> float:
+        """The template's calibrated baseline ratio (nan = not yet)."""
+        return self._baselines.get(template, float("nan"))
+
+    def observe_job(self, metrics, job_id: int, tenant: str, at: float,
+                    template: str = "") -> DriftVerdict:
+        """Score one completed job; returns (and retains) the verdict."""
+        try:
+            profiles = profile_job(metrics, job_id)
+        except ModelError as exc:
+            verdict = DriftVerdict(
+                job_id=job_id, tenant=tenant, at=at, attributable=False,
+                template=template,
+                reason=f"NOT ATTRIBUTABLE: {exc}")
+            self._retain(verdict)
+            return verdict
+        hardware = self._hardware_profile()
+        measured = 0.0
+        modeled = 0.0
+        worst_id = -1
+        worst_ratio = 0.0
+        for profile in profiles:
+            stage_model = model_stage(profile, hardware)
+            ideal = stage_model.ideal_completion_s
+            measured += profile.measured_duration_s
+            modeled += ideal
+            if ideal > 0:
+                stage_ratio = profile.measured_duration_s / ideal
+                if stage_ratio > worst_ratio:
+                    worst_ratio = stage_ratio
+                    worst_id = profile.stage_id
+        if modeled <= 0:
+            verdict = DriftVerdict(
+                job_id=job_id, tenant=tenant, at=at, attributable=False,
+                template=template, measured_s=measured,
+                reason="NOT ATTRIBUTABLE: model predicts zero runtime")
+            self._retain(verdict)
+            return verdict
+        ratio = measured / modeled
+        baseline = self._baselines.get(template)
+        if baseline is None:
+            samples = self._calibration.setdefault(template, [])
+            samples.append(ratio)
+            if len(samples) >= self.baseline_samples:
+                self._baselines[template] = percentile(samples, 50.0)
+                del self._calibration[template]
+            verdict = DriftVerdict(
+                job_id=job_id, tenant=tenant, at=at, attributable=True,
+                template=template, measured_s=measured,
+                modeled_s=modeled, ratio=ratio,
+                worst_stage_id=worst_id, worst_stage_ratio=worst_ratio)
+            self._retain(verdict)
+            return verdict
+        normalized = ratio / baseline
+        drifting = (normalized > self.envelope
+                    or normalized < 1.0 / self.envelope)
+        reason = ""
+        if drifting:
+            direction = "above" if normalized > 1.0 else "below"
+            reason = (f"job {job_id} runs at {normalized:.2f}x its "
+                      f"template baseline, {direction} the "
+                      f"{self.envelope:g}x envelope; worst stage "
+                      f"{worst_id} at {worst_ratio:.2f}x the model")
+        verdict = DriftVerdict(
+            job_id=job_id, tenant=tenant, at=at, attributable=True,
+            template=template, measured_s=measured, modeled_s=modeled,
+            ratio=ratio, baseline=baseline, normalized=normalized,
+            drifting=drifting, worst_stage_id=worst_id,
+            worst_stage_ratio=worst_ratio, reason=reason)
+        self._retain(verdict)
+        return verdict
+
+    def _retain(self, verdict: DriftVerdict) -> None:
+        self.verdicts.append(verdict)
+        del self.verdicts[:-self.keep]
+
+    # -- gauge feeds ---------------------------------------------------------------
+
+    def drift_ratio(self) -> float:
+        """Mean normalized ratio over recently *scored* verdicts."""
+        recent = [v.normalized for v in self.verdicts[-self.window:]
+                  if v.attributable and v.normalized == v.normalized]
+        if not recent:
+            return 1.0
+        return sum(recent) / len(recent)
+
+    def unattributable_count(self) -> int:
+        """How many retained verdicts could not be modeled at all."""
+        return sum(1 for v in self.verdicts if not v.attributable)
+
+    def drifting_verdicts(self) -> List[DriftVerdict]:
+        """Retained verdicts that left the envelope, oldest first."""
+        return [v for v in self.verdicts if v.drifting]

@@ -99,7 +99,7 @@ class JobServer:
                  policy: Union[str, JobScheduler] = "weighted_fair",
                  max_concurrent_jobs: Optional[int] = None,
                  seed: int = 0, health=None, telemetry=None,
-                 clarity=None) -> None:
+                 clarity=None, obs=None) -> None:
         if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
             raise ConfigError(
                 f"max_concurrent_jobs must be >= 1: {max_concurrent_jobs}")
@@ -128,6 +128,11 @@ class JobServer:
         #: are folded into its rolling window as the job finishes, and
         #: the window's bottleneck answer lands in the report.
         self.clarity = clarity
+        #: Optional :class:`repro.obs.ObservabilityPlane`: attached to
+        #: the engine when the server starts, ticked for the duration
+        #: of the serve, and folded into the report (firing alerts,
+        #: drift verdicts, journal summary).
+        self.obs = obs
         self._queue: List[JobRequest] = []
         self._running: Dict[int, JobRequest] = {}
         self._workloads: List[tuple] = []
@@ -223,6 +228,11 @@ class JobServer:
         self._ran = True
         self._all_done = self.env.event()
         start = self.env.now
+        if self.obs is not None:
+            # Attach before anything runs so the very first fault,
+            # health, or driver event already lands in the journal.
+            self.obs.attach(self.engine, tenants=self.tenants)
+            self.obs.start()
         self._open_sources = len(self._workloads)
         for tenant, template, arrivals, index in self._workloads:
             self.env.process(self._source(tenant, template, arrivals, index))
@@ -251,6 +261,8 @@ class JobServer:
             self.health.stop()
         if self.telemetry is not None:
             self.telemetry.stop()
+        if self.obs is not None:
+            self.obs.stop()
         report = ServeReport.from_metrics(
             self.metrics, engine_name=self.engine.name,
             tenants=sorted(self.tenants),
@@ -262,6 +274,8 @@ class JobServer:
         datasvc = getattr(self.engine, "datasvc", None)
         if datasvc is not None:
             report.attach_datasvc(datasvc)
+        if self.obs is not None:
+            report.attach_obs(self.obs)
         return report
 
     def _source(self, tenant: str, template: JobTemplate, arrivals,

@@ -139,6 +139,19 @@ class ServeReport:
     datasvc_stats: Dict[str, float] = field(default_factory=dict)
     #: Storage-node index -> integrity suspicion count.
     datasvc_suspicions: Dict[int, int] = field(default_factory=dict)
+    #: Alert transitions (:class:`~repro.metrics.events.AlertEventRecord`)
+    #: in time order; filled by observability-enabled runs.
+    obs_timeline: List[object] = field(default_factory=list)
+    #: Alerts still firing when the run drained
+    #: (:class:`~repro.obs.alerts.Alert`).
+    obs_firing: List[object] = field(default_factory=list)
+    #: Drift verdicts that left the model envelope or could not be
+    #: attributed (:class:`~repro.obs.drift.DriftVerdict`).
+    obs_drift: List[object] = field(default_factory=list)
+    #: Jobs the drift detector scored, whatever the verdict.
+    obs_drift_scored: int = 0
+    #: Journal row counts by severity, plus ``dropped``.
+    obs_journal: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_metrics(cls, metrics: MetricsCollector, engine_name: str,
@@ -198,6 +211,27 @@ class ServeReport:
         """Fold a :class:`~repro.datasvc.DataService`'s counters in."""
         self.datasvc_stats = service.stats()
         self.datasvc_suspicions = service.suspicion_counts()
+
+    def attach_obs(self, obs) -> None:
+        """Fold an :class:`~repro.obs.ObservabilityPlane`'s outcome in.
+
+        Stores the alert timeline, still-firing alerts, out-of-envelope
+        (or unattributable) drift verdicts, and journal severity counts
+        -- every one a deterministic function of the run; the plane's
+        wall-clock self-overhead deliberately stays off the report (ask
+        ``obs.overhead()`` for it).
+        """
+        self.obs_timeline = obs.alert_timeline()
+        self.obs_firing = obs.firing()
+        verdicts = obs.drift_verdicts()
+        self.obs_drift_scored = len(verdicts)
+        self.obs_drift = [v for v in verdicts
+                          if v.drifting or not v.attributable]
+        counts: Dict[str, int] = {}
+        for event in obs.journal.events():
+            counts[event.severity] = counts.get(event.severity, 0) + 1
+        counts["dropped"] = obs.journal.dropped
+        self.obs_journal = counts
 
     @property
     def total_shed(self) -> int:
@@ -304,7 +338,56 @@ class ServeReport:
                     ["storage node", "integrity suspicions"],
                     suspicion_rows,
                     title="Data-tier integrity suspicions"))
+        if self.obs_timeline or self.obs_journal:
+            lines.append(self._obs_section())
         return "\n\n".join(lines)
+
+    def _obs_section(self) -> str:
+        """Streaming-alerting outcome: timeline, drift, journal counts."""
+        parts = []
+        if self.obs_timeline:
+            rows = [[f"{a.at:.1f}", a.rule, a.kind, a.labels or "-",
+                     "-" if a.value != a.value else f"{a.value:.2f}",
+                     f"{a.trace_id}/{a.span_id}" if a.span_id >= 0
+                     else "-"]
+                    for a in self.obs_timeline]
+            parts.append(format_table(
+                ["t (s)", "rule", "transition", "labels", "value",
+                 "exemplar"],
+                rows, title="Alert timeline (observability plane)"))
+        else:
+            parts.append("Alert timeline: no alerts fired")
+        if self.obs_firing:
+            names = ", ".join(
+                f"{a.rule}{{{','.join(f'{k}={v}' for k, v in a.labels)}}}"
+                for a in self.obs_firing)
+            parts.append(f"Still firing at drain: {names}")
+        if self.obs_drift:
+            drift_rows = [
+                ["-" if v.job_id < 0 else str(v.job_id), v.tenant or "-",
+                 f"{v.at:.1f}",
+                 "-" if v.normalized != v.normalized
+                 else f"{v.normalized:.2f}",
+                 v.reason or "-"]
+                for v in self.obs_drift]
+            parts.append(format_table(
+                ["job", "tenant", "t (s)", "vs baseline", "verdict"],
+                drift_rows,
+                title=(f"Model drift ({self.obs_drift_scored} jobs "
+                       f"scored)")))
+        elif self.obs_drift_scored:
+            parts.append(
+                f"Model drift: {self.obs_drift_scored} jobs scored, all "
+                f"inside the envelope")
+        if self.obs_journal:
+            order = {"critical": 0, "warning": 1, "info": 2,
+                     "dropped": 3}
+            counts = ", ".join(
+                f"{key}={self.obs_journal[key]}"
+                for key in sorted(self.obs_journal,
+                                  key=lambda k: order.get(k, 9)))
+            parts.append(f"Event journal: {counts}")
+        return "\n\n".join(parts)
 
     def _attribution_section(self) -> str:
         """What the monitor blamed each suspect machine's slowness on.

@@ -101,6 +101,12 @@ class TelemetryRegistry:
             if not _LABEL_RE.match(label):
                 raise SimulationError(
                     f"invalid label name {label!r} on metric {name!r}")
+            if label.startswith("__"):
+                # Prometheus reserves double-underscore label names for
+                # internal use; exporting one breaks real scrapers.
+                raise SimulationError(
+                    f"label name {label!r} on metric {name!r} is "
+                    f"reserved (double-underscore prefix)")
         metric = self._metrics.get(name)
         if metric is None:
             metric = _Metric(name, help_text, kind)
@@ -109,6 +115,13 @@ class TelemetryRegistry:
             raise SimulationError(
                 f"metric {name!r} registered as both {metric.kind} "
                 f"and {kind}")
+        elif metric.help_text != help_text:
+            # Two registrations disagreeing about what the metric means
+            # is a bug in the caller, and the exposition format has one
+            # HELP line per metric -- first writer would silently win.
+            raise SimulationError(
+                f"metric {name!r} registered with conflicting help "
+                f"text: {metric.help_text!r} vs {help_text!r}")
         key: Labels = tuple(sorted((k, str(v)) for k, v in labels.items()))
         if key in metric.series:
             raise SimulationError(

@@ -112,6 +112,71 @@ class TestTimeSeriesStore:
             TimeSeriesStore(retention_s=-1.0)
         assert "mean" in AGGREGATIONS and "rate" in AGGREGATIONS
 
+    @staticmethod
+    def _compacted_store(appends=300, capacity=100):
+        """A store driven far enough that the ring buffer compacted.
+
+        With ``capacity`` 100, append 300 points: the logical start
+        offset crosses the ``start > 64 and start * 2 >= len`` slice
+        threshold several times, so windowed queries afterwards run
+        against a physically compacted list, not just a large offset.
+        """
+        store = TimeSeriesStore(capacity_per_series=capacity)
+        for t in range(appends):
+            # Non-monotone values so percentiles are not trivial.
+            store.append("m", float(t), float((t * 7) % 13))
+        series = store._series[("m", ())]
+        assert series._start == 0 and len(series._points) == capacity, \
+            "test workload no longer triggers prefix compaction"
+        return store
+
+    def test_rate_and_percentiles_across_compaction(self):
+        """Windowed aggregates are oblivious to buffer compaction.
+
+        The same retained points in a fresh (never-evicted) store must
+        produce identical rate/pNN answers, including for windows that
+        straddle the retention boundary (reaching before the oldest
+        retained point) and windows entirely inside the buffer.
+        """
+        store = self._compacted_store()
+        fresh = TimeSeriesStore()
+        for t, v in store.points("m"):
+            fresh.append("m", t, v)
+        oldest = store.points("m")[0][0]
+        assert oldest == 200.0  # 300 appends, capacity 100
+        windows = [
+            (10.0, 299.0),     # inside the retained window
+            (50.0, 230.0),     # straddles the eviction boundary
+            (1000.0, 299.0),   # asks for far more than is retained
+            (1.0, 200.5),      # tiny window at the boundary itself
+        ]
+        for agg in ("rate", "p50", "p95", "p99.9", "mean", "count"):
+            for window_s, now in windows:
+                assert store.aggregate("m", agg, window_s, now=now) == \
+                    fresh.aggregate("m", agg, window_s, now=now), \
+                    (agg, window_s, now)
+
+    def test_window_and_latest_across_compaction(self):
+        store = self._compacted_store()
+        assert store.window("m", 250.0, 260.0) == \
+            [(float(t), float((t * 7) % 13)) for t in range(250, 261)]
+        # A window entirely evicted by capacity yields nothing.
+        assert store.window("m", 0.0, 199.0) == []
+        assert store.latest("m") == (299.0, float((299 * 7) % 13))
+        assert len(store) == 100
+
+    def test_rate_counter_idiom_across_eviction(self):
+        """A counter's windowed rate survives losing its early points."""
+        store = TimeSeriesStore(capacity_per_series=10)
+        for t in range(200):
+            store.append("total", float(t), 3.0 * t)  # 3/s counter
+        assert store.aggregate("total", "rate", 5.0, now=199.0) == \
+            pytest.approx(3.0)
+        # Window wider than retention: rate falls back to the oldest
+        # *retained* point, not the true start of the counter.
+        assert store.aggregate("total", "rate", 1000.0, now=199.0) == \
+            pytest.approx(3.0)
+
 
 class TestWindowedPrometheus:
     def make_registry(self):

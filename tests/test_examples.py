@@ -69,6 +69,16 @@ class TestExamples:
         assert "excluded at end: [1]" in out
         assert "cannot find the sick machine" in out
 
+    def test_alerting(self, capsys):
+        out = run_example("alerting", capsys)
+        assert "slo-burn{tenant=analytics}" in out
+        assert "source-slow{machine=1}" in out
+        assert "the alert led the exclusion by" in out
+        assert "the exemplar resolves to a real span" in out
+        assert "0 outside the envelope" in out
+        assert "CRITICAL alert/firing" in out
+        assert "WARNING  fault/net-degradation machine 1" in out
+
     def test_serving(self, capsys):
         out = run_example("serving", capsys)
         assert "SLO report (spark" in out

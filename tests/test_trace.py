@@ -256,10 +256,20 @@ class TestPrometheusExposition:
         with pytest.raises(SimulationError, match="both"):
             registry.gauge("repro_retries_total", "x", lambda: 0, a=1)
         with pytest.raises(SimulationError, match="duplicate series"):
-            registry.counter("repro_retries_total", "x", lambda: 0)
+            registry.counter("repro_retries_total", "Attempt retries",
+                             lambda: 0)
         with pytest.raises(SimulationError, match="duplicate series"):
-            registry.gauge("repro_queue_depth", "x", lambda: 9,
-                           machine=0, resource="disk0")
+            registry.gauge("repro_queue_depth", "Waiting monotasks",
+                           lambda: 9, machine=0, resource="disk0")
+        with pytest.raises(SimulationError, match="conflicting help"):
+            registry.gauge("repro_queue_depth", "Different story",
+                           lambda: 0, machine=2, resource="cpu")
+        with pytest.raises(SimulationError, match="reserved"):
+            registry.gauge("ok", "x", lambda: 0, **{"__name__": "x"})
+        # A new labeled series under an existing metric with matching
+        # help text and kind is fine.
+        registry.gauge("repro_queue_depth", "Waiting monotasks",
+                       lambda: 1, machine=2, resource="cpu")
 
     def test_sampler_cadence(self):
         ctx = run_shuffle("monospark", num_blocks=2)
