@@ -32,6 +32,12 @@ Three benchmarks, selected with ``--bench``:
   invariants, diffed exactly; the plane's measured self-overhead is
   budget-gated against the committed
   ``workload.overhead_budget_ms_per_sim_s``, never diffed.
+* ``xray`` -- runs the seeded capsule/differential-debugger scenarios
+  (``repro.xray.bench``: byte-identical same-seed capsule recording for
+  both engines, the fail-slow diff that must blame machine 1's network,
+  the Spark NOT ATTRIBUTABLE contrast, the clean self-diff) and writes
+  ``BENCH_xray.json``: capsule sha256s, manifest counts, and the ranked
+  blame invariants, diffed exactly.
 
 The committed copy at the repo root is the baseline; the CI
 clarity-bench / kernel-bench / datasvc-bench jobs regenerate the file
@@ -56,6 +62,8 @@ Usage:
         [--repeats 2]
     python scripts/bench_trajectory.py --bench obs
         [--output BENCH_obs.json] [--check BASELINE] [--repeats 2]
+    python scripts/bench_trajectory.py --bench xray
+        [--output BENCH_xray.json] [--check BASELINE] [--repeats 2]
 
 Exit status 0 on match, 1 on drift or a failed acceptance gate.
 """
@@ -78,6 +86,7 @@ DEFAULT_OUTPUTS = {
     "datasvc": os.path.join(_ROOT, "BENCH_datasvc.json"),
     "controlplane": os.path.join(_ROOT, "BENCH_controlplane.json"),
     "obs": os.path.join(_ROOT, "BENCH_obs.json"),
+    "xray": os.path.join(_ROOT, "BENCH_xray.json"),
 }
 
 
@@ -306,6 +315,55 @@ def check_obs(result: dict, baseline_path: str) -> int:
     return 0
 
 
+# -- xray ---------------------------------------------------------------------
+
+
+def compute_xray(repeats: int) -> dict:
+    """The seeded capsule/diff scenarios, byte-stable across repeats."""
+    from repro.xray.bench import (XrayWorkload, run_xray_benchmark,
+                                  trajectory_summary)
+    workload = XrayWorkload()
+    result = run_xray_benchmark(workload, repeats=repeats)
+    return trajectory_summary(result, workload, repeats=repeats)
+
+
+def check_xray(result: dict, baseline_path: str) -> int:
+    """Exact-diff workload + invariants (sha256s included)."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures = []
+    for section in ("workload", "invariants"):
+        ours = _flatten(section, result.get(section, {}))
+        theirs = _flatten(section, baseline.get(section, {}))
+        for path in sorted(set(ours) | set(theirs)):
+            if ours.get(path) != theirs.get(path):
+                failures.append(
+                    f"{path}: baseline {theirs.get(path)!r} vs current "
+                    f"{ours.get(path)!r} (must match exactly)")
+    if failures:
+        print(f"xray trajectory drifted from {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"xray trajectory matches {baseline_path} (exact, "
+          f"capsule sha256s included)")
+    return 0
+
+
+def _flatten(prefix: str, value) -> dict:
+    """Flatten every leaf (numbers AND strings) to ``path -> value``."""
+    out = {}
+    if isinstance(value, dict):
+        for key in value:
+            out.update(_flatten(f"{prefix}.{key}", value[key]))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(_flatten(f"{prefix}[{index}]", item))
+    else:
+        out[prefix] = value
+    return out
+
+
 # -- driver -------------------------------------------------------------------
 
 
@@ -313,7 +371,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench",
                         choices=("clarity", "kernel", "datasvc",
-                                 "controlplane", "obs"),
+                                 "controlplane", "obs", "xray"),
                         default="clarity",
                         help="which trajectory to run (default clarity)")
     parser.add_argument("--output", default=None,
@@ -369,6 +427,15 @@ def main(argv=None) -> int:
               f"{result['observed_overhead']['ms_per_sim_s']} ms/sim-s")
         if args.check is not None:
             return check_obs(result, args.check)
+        return 0
+
+    if args.bench == "xray":
+        result = compute_xray(args.repeats)
+        write(result, output)
+        blame = result["invariants"]["blame"]
+        print(f"wrote {output}: {blame['narrative']}")
+        if args.check is not None:
+            return check_xray(result, args.check)
         return 0
 
     if args.bench == "clarity":

@@ -1,19 +1,37 @@
-"""Validate a Chrome Trace Event Format JSON file (stdlib only).
+"""Validate trace artifacts: Chrome traces and run capsules (stdlib only).
 
-Checks the subset of the Trace Event Format spec our exporter emits:
-JSON object form with a ``traceEvents`` array, known phase codes,
-required keys per phase, numeric non-negative timestamps/durations,
-paired flow (``s``/``f``) and async (``b``/``e``) events, and metadata
-events carrying the args the spec requires.  Used by the CI trace-smoke
-job; also handy on any trace before loading it into Perfetto.
+For Chrome Trace Event Format JSON files, checks the subset of the spec
+our exporter emits: JSON object form with a ``traceEvents`` array, known
+phase codes, required keys per phase, numeric non-negative
+timestamps/durations, paired flow (``s``/``f``) and async (``b``/``e``)
+events, and metadata events carrying the args the spec requires.
 
-Usage:  python scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+For run capsules (``repro xray record`` JSONL files, detected by their
+``{"type": "capsule", ...}`` header line), checks the envelope every
+reader relies on: a known ``schema`` version on every line, known line
+types, a header carrying engine/seed/config, and a trailing manifest
+whose per-type counts match the body exactly.
+
+Used by the CI trace-smoke job; also handy on any artifact before
+loading it into Perfetto or ``repro xray``.
+
+Usage:  python scripts/validate_trace.py ARTIFACT [ARTIFACT2 ...]
 Exit status 0 when every file validates, 1 otherwise.
 """
 
 import json
 import numbers
 import sys
+
+#: Capsule schema versions this validator understands.  Kept in sync
+#: with ``repro.xray.capsule.KNOWN_SCHEMAS`` (the script stays
+#: stdlib-only so it can run anywhere).
+KNOWN_CAPSULE_SCHEMAS = (1,)
+
+#: Line types a capsule may contain (repro.xray.capsule.LINE_TYPES).
+CAPSULE_LINE_TYPES = ("capsule", "span", "link", "journal", "serve",
+                      "job", "telemetry", "clarity", "summary",
+                      "manifest")
 
 #: Phases our exporter emits; anything else is an error.
 KNOWN_PHASES = {"X", "M", "s", "f", "b", "e"}
@@ -93,8 +111,76 @@ def validate_events(events):
                f"{len(ends)} ends")
 
 
+def validate_capsule_lines(lines):
+    """Yield error strings for one capsule's JSONL lines."""
+    parsed = []
+    for index, raw in enumerate(lines):
+        where = f"line {index + 1}"
+        try:
+            record = json.loads(raw)
+        except ValueError as error:
+            yield f"{where}: not JSON ({error})"
+            return
+        if not isinstance(record, dict):
+            yield f"{where}: not an object"
+            return
+        kind = record.get("type")
+        if kind not in CAPSULE_LINE_TYPES:
+            yield f"{where}: unknown line type {kind!r}"
+        schema = record.get("schema")
+        if schema is None:
+            yield f"{where}: missing schema version"
+        elif schema not in KNOWN_CAPSULE_SCHEMAS:
+            yield (f"{where}: unknown schema version {schema!r} "
+                   f"(known: {list(KNOWN_CAPSULE_SCHEMAS)})")
+        parsed.append(record)
+    if not parsed:
+        yield "empty capsule"
+        return
+    header, manifest = parsed[0], parsed[-1]
+    if header.get("type") != "capsule":
+        yield f"first line is {header.get('type')!r}, not the header"
+        return
+    for key in ("engine", "seed", "config"):
+        if key not in header:
+            yield f"header lacks {key!r}"
+    if manifest.get("type") != "manifest":
+        yield f"last line is {manifest.get('type')!r}, not the manifest"
+        return
+    counts = {}
+    for record in parsed[1:-1]:
+        kind = record.get("type")
+        if kind in ("capsule", "manifest"):
+            yield f"body contains a stray {kind!r} line"
+            continue
+        counts[kind] = counts.get(kind, 0) + 1
+    declared = manifest.get("counts")
+    if not isinstance(declared, dict):
+        yield "manifest lacks a counts object"
+    elif {k: int(v) for k, v in declared.items() if v} != counts:
+        yield (f"manifest counts {declared} disagree with the body "
+               f"{counts}")
+    lines_field = manifest.get("lines")
+    if lines_field is not None and lines_field != len(parsed):
+        yield (f"manifest says {lines_field} lines, file has "
+               f"{len(parsed)}")
+
+
 def validate_file(path):
-    """Validate one trace file; returns a list of error strings."""
+    """Validate one artifact; returns a list of error strings."""
+    try:
+        with open(path) as handle:
+            first = handle.readline()
+    except OSError as error:
+        return [f"cannot load {path}: {error}"]
+    try:
+        sniff = json.loads(first) if first.strip() else None
+    except ValueError:
+        sniff = None
+    if isinstance(sniff, dict) and sniff.get("type") == "capsule":
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        return list(validate_capsule_lines(lines))
     try:
         with open(path) as handle:
             trace = json.load(handle)
@@ -118,6 +204,13 @@ def main(argv):
             for error in errors:
                 print(f"  {error}")
         else:
+            with open(path) as handle:
+                first = handle.readline()
+                if first.strip().startswith("{\"type\": \"capsule\"") or \
+                        first.strip().startswith('{"type":"capsule"'):
+                    count = sum(1 for line in handle if line.strip()) + 1
+                    print(f"ok   {path} (capsule, {count} lines)")
+                    continue
             with open(path) as handle:
                 count = len(json.load(handle)["traceEvents"])
             print(f"ok   {path} ({count} events)")

@@ -205,7 +205,11 @@ class ClarityAggregator:
         have finished (the critical-path walk requires a closed window).
         """
         engine = engine or self.engine
-        report = critical_path(metrics, job_id, engine=engine)
+        cached = getattr(metrics, "critical_path_report", None)
+        if cached is not None:
+            report = cached(job_id, engine=engine)
+        else:  # duck-typed metrics without the collector cache
+            report = critical_path(metrics, job_id, engine=engine)
         profiles: List[StageProfile] = []
         if report.attributable:
             try:

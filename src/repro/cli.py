@@ -18,6 +18,11 @@ Examples::
     python -m repro obs alerts --degrade-machine 1 --factor 10
     python -m repro obs events --min-severity warning
     python -m repro obs watch --jobs 20
+    python -m repro xray record clean.capsule
+    python -m repro xray record degraded.capsule --degrade-machine 1
+    python -m repro xray query clean.capsule --group-by machine --metric queue
+    python -m repro xray diff clean.capsule degraded.capsule
+    python -m repro xray regress clean.capsule degraded.capsule --threshold 0.5
 
 Every command prints simulated runtimes; ``whatif``/``diagnose``/``trace``
 additionally exercise the §6 performance-clarity machinery, ``serve``
@@ -290,6 +295,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-monitor", action="store_true",
                    help="run without the health monitor (alerts still "
                         "fire; nothing excludes the machine)")
+
+    p = sub.add_parser("xray",
+                       help="record run capsules, query them, and diff "
+                            "two runs into ranked per-resource blame")
+    xray = p.add_subparsers(dest="xray_action", required=True)
+
+    x = xray.add_parser("record",
+                        help="simulate the canonical serving run and "
+                             "record it into a capsule file")
+    x.add_argument("output", help="capsule path to write (JSONL)")
+    x.add_argument("--engine", choices=("spark", "monospark"),
+                   default="monospark")
+    x.add_argument("--machines", type=int, default=4)
+    x.add_argument("--disks", type=int, default=2)
+    x.add_argument("--seed", type=int, default=1)
+    x.add_argument("--jobs", type=int, default=12,
+                   help="word-count requests in the arrival trace")
+    x.add_argument("--num-blocks", type=int, default=4)
+    x.add_argument("--block-mb", type=float, default=48.0)
+    x.add_argument("--period", type=float, default=2.5,
+                   help="seconds between arrivals")
+    x.add_argument("--slo", type=float, default=3.0)
+    x.add_argument("--tenant", default="analytics")
+    x.add_argument("--degrade-machine", type=int, default=None,
+                   help="degrade this machine's NIC mid-run (the "
+                        "canonical fail-slow fault)")
+    x.add_argument("--degrade-at", type=float, default=5.0)
+    x.add_argument("--factor", type=float, default=10.0,
+                   help="NIC slowdown factor (>1 = slower)")
+    x.add_argument("--health", action="store_true",
+                   help="also run the health monitor (exclusion "
+                        "mitigates the fault, muddying the diff demo)")
+
+    x = xray.add_parser("query",
+                        help="trace analytics over one capsule: "
+                             "group/aggregate spans, RED tenant rates")
+    x.add_argument("capsule", help="capsule path to load")
+    x.add_argument("--group-by", default="resource",
+                   choices=["resource", "machine", "phase", "stage",
+                            "tenant", "kind"])
+    x.add_argument("--metric", choices=("duration", "queue"),
+                   default="duration",
+                   help="service seconds or scheduler queueing seconds")
+    x.add_argument("--rates", action="store_true",
+                   help="print RED-style per-tenant rates instead")
+    x.add_argument("--kind", default=None,
+                   help="span kind filter (default: leaf layer -- "
+                        "monotask when present, attempt otherwise)")
+    x.add_argument("--resource", default=None)
+    x.add_argument("--phase", default=None)
+    x.add_argument("--machine", type=int, default=None)
+    x.add_argument("--tenant", default=None)
+    x.add_argument("--job", type=int, default=None)
+
+    x = xray.add_parser("diff",
+                        help="why is run B slower than run A? ranked "
+                             "per-resource x machine x phase blame")
+    x.add_argument("a", help="baseline capsule (run A)")
+    x.add_argument("b", help="comparison capsule (run B)")
+    x.add_argument("--noise-floor", type=float, default=0.05,
+                   help="ignore per-cell deltas below this many "
+                        "seconds (default 0.05)")
+    x.add_argument("--min-fraction", type=float, default=0.02,
+                   help="...and below this fraction of the total delta")
+    x.add_argument("--json", action="store_true",
+                   help="print the machine-readable report instead")
+
+    x = xray.add_parser("regress",
+                        help="CI gate: diff B against baseline A, exit "
+                             "3 if the regression exceeds the threshold")
+    x.add_argument("a", help="baseline capsule (run A)")
+    x.add_argument("b", help="candidate capsule (run B)")
+    x.add_argument("--threshold", type=float, default=0.5,
+                   help="fail past this many seconds of total "
+                        "critical-path regression (default 0.5)")
+    x.add_argument("--noise-floor", type=float, default=0.05)
 
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's figures "
@@ -824,6 +905,55 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_xray(args) -> int:
+    from repro.xray import (CanonicalRun, Capsule, CapsuleQuery,
+                            diff_capsules, record_run)
+
+    if args.xray_action == "record":
+        run = CanonicalRun(
+            engine=args.engine, machines=args.machines, disks=args.disks,
+            seed=args.seed, tenant=args.tenant, slo_s=args.slo,
+            num_blocks=args.num_blocks, block_mb=args.block_mb,
+            jobs=args.jobs, period_s=args.period,
+            degrade_machine=args.degrade_machine,
+            degrade_at=args.degrade_at, degrade_factor=args.factor,
+            health=args.health)
+        capsule = record_run(args.output, run)
+        print(capsule.describe())
+        return 0
+
+    if args.xray_action == "query":
+        query = CapsuleQuery(Capsule.load(args.capsule))
+        if args.rates:
+            print(query.format_rates(query.tenant_rates()))
+            return 0
+        rows = query.aggregate(
+            group_by=args.group_by, metric=args.metric, kind=args.kind,
+            resource=args.resource, phase=args.phase,
+            machine=args.machine, tenant=args.tenant, job=args.job)
+        print(query.format_aggregate(rows, args.group_by, args.metric))
+        return 0
+
+    report = diff_capsules(Capsule.load(args.a), Capsule.load(args.b),
+                           noise_floor_s=args.noise_floor,
+                           min_fraction=getattr(args, "min_fraction", 0.02))
+    if args.xray_action == "regress":
+        print(report.format())
+        if report.regression(args.threshold):
+            print(f"\nREGRESSION: {report.delta_total:+.3f}s exceeds "
+                  f"the {args.threshold:g}s threshold")
+            return 3
+        print(f"\nok: {report.delta_total:+.3f}s within the "
+              f"{args.threshold:g}s threshold")
+        return 0
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(report.format())
+    return 0
+
+
 def _labels_str(alert) -> str:
     from repro.obs import format_labels
     return format_labels(alert.labels)
@@ -872,6 +1002,7 @@ _COMMANDS = {
     "datasvc": _cmd_datasvc,
     "controlplane": _cmd_controlplane,
     "obs": _cmd_obs,
+    "xray": _cmd_xray,
     "reproduce": _cmd_reproduce,
 }
 

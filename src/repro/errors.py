@@ -106,3 +106,8 @@ class ClarityError(ReproError):
 class ObsError(ReproError):
     """Invalid use of the observability plane (alert rules, the event
     journal, or the drift detector)."""
+
+
+class CapsuleError(ReproError):
+    """A run capsule is malformed: unknown schema version, missing or
+    inconsistent manifest, or a line that does not parse."""

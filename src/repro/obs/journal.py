@@ -26,10 +26,13 @@ from typing import IO, List, Optional, Union
 from repro.errors import ObsError
 
 __all__ = ["JournalEvent", "EventJournal", "JsonlJournalSink",
-           "severity_of", "SEVERITY_ORDER"]
+           "fold_event", "severity_of", "SEVERITY_ORDER", "JOURNAL_SCHEMA"]
 
 #: Severity ranks, least to most urgent (journal filters compare ranks).
 SEVERITY_ORDER = {"info": 0, "warning": 1, "critical": 2}
+
+#: Version stamped into every JSONL line the journal sink writes.
+JOURNAL_SCHEMA = 1
 
 #: Fault kinds that mean lost state/work rather than degradation.
 _FAULT_CRITICAL = ("crash", "failure", "partition")
@@ -135,6 +138,10 @@ def _fold(source: str, record) -> JournalEvent:
         trace_id=record.trace_id)
 
 
+#: Public name for the fold (capsule recorders fold the same streams).
+fold_event = _fold
+
+
 class EventJournal:
     """Bounded fold of every event stream, in arrival order.
 
@@ -204,8 +211,10 @@ class JsonlJournalSink:
     """Streams journal rows to a JSON-lines file as they happen.
 
     Mirrors ``repro.trace.JsonlSpanSink``: opened eagerly, one compact
-    JSON object per line, idempotent :meth:`close`, and rows arriving
-    after close are dropped silently (shutdown races are not errors).
+    JSON object per line (stamped with :data:`JOURNAL_SCHEMA`),
+    idempotent :meth:`close`, usable as a context manager, and rows
+    arriving after close are dropped silently (shutdown races are not
+    errors).
     """
 
     def __init__(self, path_or_handle: Union[str, IO[str]]) -> None:
@@ -222,9 +231,16 @@ class JsonlJournalSink:
         """Serialize one row (no-op after close)."""
         if self._handle is None:
             return
-        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        record = event.to_dict()
+        record["schema"] = JOURNAL_SCHEMA
+        json.dump(record, self._handle, separators=(",", ":"))
         self._handle.write("\n")
         self.written += 1
+
+    def flush(self) -> None:
+        """Push buffered rows to the OS (no-op after close)."""
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         """Flush and close (idempotent)."""
@@ -234,3 +250,9 @@ class JsonlJournalSink:
         if self._owns_handle:
             self._handle.close()
         self._handle = None
+
+    def __enter__(self) -> "JsonlJournalSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

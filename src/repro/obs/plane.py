@@ -44,7 +44,6 @@ from repro.obs.drift import DriftVerdict, ModelDriftDetector
 from repro.obs.exemplars import WORST_JOB_METRIC, Exemplar, ExemplarStore
 from repro.obs.journal import EventJournal, JsonlJournalSink
 from repro.obs.rules import (AbsenceRule, BurnRateRule, ThresholdRule)
-from repro.trace.critpath import critical_path
 from repro.trace.telemetry import TelemetryRegistry
 
 __all__ = ["ObservabilityPlane"]
@@ -302,8 +301,8 @@ class ObservabilityPlane:
 
     def _record_exemplars(self, record: ServeRecord, now: float) -> None:
         try:
-            report = critical_path(self.metrics, record.job_id,
-                                   engine=self.engine.name)
+            report = self.metrics.critical_path_report(
+                record.job_id, engine=self.engine.name)
         except Exception:
             return  # unfinished/odd job: no exemplar, never an outage
         segments = [s for s in report.segments if s.span_id >= 0]

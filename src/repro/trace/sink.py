@@ -6,6 +6,11 @@ for hours of simulated time should stream its trace out instead of
 holding it.  A sink attached via ``MetricsCollector.add_span_sink``
 receives every span when it *closes* (spans are emitted complete, never
 half-open) and every link when it is recorded.
+
+Every emitted line carries a ``schema`` version field
+(:data:`TRACE_SCHEMA`) so downstream readers -- the capsule loader in
+``repro.xray`` and ``scripts/validate_trace.py`` -- can refuse lines
+they do not understand instead of misparsing them.
 """
 
 from __future__ import annotations
@@ -15,7 +20,11 @@ from typing import IO, Optional
 
 from repro.trace.spans import SpanLink, SpanRecord, link_to_json, span_to_json
 
-__all__ = ["JsonlSpanSink"]
+__all__ = ["JsonlSpanSink", "TRACE_SCHEMA"]
+
+#: Version stamped into every JSONL line this module writes.  Bump when
+#: the per-line shape changes incompatibly.
+TRACE_SCHEMA = 1
 
 
 class JsonlSpanSink:
@@ -23,14 +32,14 @@ class JsonlSpanSink:
 
     Usage::
 
-        sink = JsonlSpanSink("trace.jsonl")
-        ctx.metrics.add_span_sink(sink)
-        ... run jobs ...
-        sink.close()
+        with JsonlSpanSink("trace.jsonl") as sink:
+            ctx.metrics.add_span_sink(sink)
+            ... run jobs ...
 
     The output is deterministic: key order is fixed by the
     ``span_to_json``/``link_to_json`` helpers and floats are emitted
     with ``repr`` precision, so identical runs produce identical files.
+    Each line gains a trailing ``schema`` field with :data:`TRACE_SCHEMA`.
     """
 
     def __init__(self, path: str) -> None:
@@ -52,9 +61,15 @@ class JsonlSpanSink:
     def _write(self, record: dict) -> bool:
         if self._handle is None:
             return False  # Closed: late stragglers are dropped, not an error.
+        record["schema"] = TRACE_SCHEMA
         json.dump(record, self._handle, separators=(",", ":"))
         self._handle.write("\n")
         return True
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (no-op after close)."""
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""

@@ -1,0 +1,330 @@
+"""The differential debugger: why is run B slower than run A?
+
+Two capsules in, one causal answer out.  Jobs are aligned across runs
+by (tenant, template, arrival sequence) -- the request identity that
+survives nondeterministic job ids -- then each aligned pair's
+critical-path attribution (:mod:`repro.trace.critpath`) is diffed per
+``resource x machine x phase`` cell.  Because critical-path segments
+partition each job's window exactly, the per-cell deltas sum to the
+total wall-clock delta: every second of regression is attributed
+somewhere, and the ranked cells *are* the blame.
+
+On MonoSpark capsules the cells carry real resources, so the report
+can say "+3.1s total: 82% network on machine 1 during shuffle-fetch".
+On Spark capsules the same alignment and totals work, but the cells
+collapse to the blended pseudo-resource and the report says NOT
+ATTRIBUTABLE instead of guessing -- the paper's §6.6 contrast, now in
+differential form.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BlameEntry", "JobPair", "DiffReport", "diff_capsules",
+           "align_jobs", "DEFAULT_NOISE_FLOOR_S", "DEFAULT_MIN_FRACTION"]
+
+#: Per-cell deltas below this many seconds are noise, not blame.
+DEFAULT_NOISE_FLOOR_S = 0.05
+
+#: ... and below this fraction of the total delta, likewise.
+DEFAULT_MIN_FRACTION = 0.02
+
+_NOT_ATTRIBUTABLE = (
+    "NOT ATTRIBUTABLE: at least one capsule came from an engine running "
+    "blended tasks; without per-resource monotask spans the delta cannot "
+    "be decomposed by resource (the paper's Section 3 / 6.6 contrast).")
+
+
+@dataclass(frozen=True)
+class BlameEntry:
+    """One ``resource x machine x phase`` cell of the blame ranking."""
+
+    label: str  # segment label: ``network``, ``disk queue``, ``driver``...
+    machine_id: int  # -1 for driver cells
+    phase: str  # monotask phase; "" for driver/blended cells
+    seconds_a: float
+    seconds_b: float
+    #: Longest B-side segment in this cell: the span to open first.
+    exemplar_trace: str = ""
+    exemplar_span: int = -1
+
+    @property
+    def delta(self) -> float:
+        """Seconds gained (+) or saved (-) in run B."""
+        return self.seconds_b - self.seconds_a
+
+    @property
+    def where(self) -> str:
+        """Human-readable location: "machine N", or "driver" for gaps."""
+        return ("driver" if self.machine_id < 0
+                else f"machine {self.machine_id}")
+
+
+@dataclass(frozen=True)
+class JobPair:
+    """One aligned (run A job, run B job) request pair."""
+
+    tenant: str
+    template: str
+    seq: int  # arrival sequence within (tenant, template)
+    arrival_b: float
+    job_a: int
+    job_b: int
+    duration_a: float
+    duration_b: float
+
+    @property
+    def delta(self) -> float:
+        """Run B duration minus run A duration for this pair, seconds."""
+        return self.duration_b - self.duration_a
+
+
+@dataclass
+class DiffReport:
+    """The structured answer, plus its human renderings."""
+
+    path_a: str
+    path_b: str
+    engine_a: str
+    engine_b: str
+    pairs: List[JobPair] = field(default_factory=list)
+    unmatched_a: int = 0
+    unmatched_b: int = 0
+    attributable: bool = True
+    #: Noise-filtered cells, ranked by |delta| descending.
+    entries: List[BlameEntry] = field(default_factory=list)
+    total_a: float = 0.0
+    total_b: float = 0.0
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S
+    min_fraction: float = DEFAULT_MIN_FRACTION
+    #: First aligned pair whose delta cleared the noise floor, if any.
+    first_divergence: Optional[JobPair] = None
+    #: Exemplar span of that pair's worst cell: ``trace/span (+delta)``.
+    first_divergence_detail: str = ""
+
+    @property
+    def delta_total(self) -> float:
+        """Total matched wall-clock seconds gained (+) in run B."""
+        return self.total_b - self.total_a
+
+    def regression(self, threshold_s: float) -> bool:
+        """True when run B regressed past ``threshold_s`` seconds."""
+        return self.delta_total > threshold_s
+
+    def narrative(self) -> str:
+        """The one-line human answer."""
+        delta = self.delta_total
+        if not self.pairs:
+            return "no aligned jobs: the runs share no completed requests"
+        if not self.attributable:
+            return (f"{delta:+.1f}s total across {len(self.pairs)} aligned "
+                    f"jobs: NOT ATTRIBUTABLE (blended tasks)")
+        if not self.entries:
+            return (f"{delta:+.1f}s total across {len(self.pairs)} aligned "
+                    f"jobs: no cell cleared the noise floor "
+                    f"({self.noise_floor_s:.2f}s)")
+        top = self.entries[0]
+        share = abs(top.delta) / abs(delta) * 100.0 if delta else 0.0
+        during = f" during {top.phase}" if top.phase else ""
+        line = (f"{delta:+.1f}s total: {share:.0f}% {top.label} on "
+                f"{top.where}{during}")
+        if self.first_divergence is not None:
+            pair = self.first_divergence
+            line += (f"; first diverging span: job {pair.job_b} "
+                     f"{self.first_divergence_detail} "
+                     f"({pair.delta:+.2f}s)")
+        return line
+
+    def format(self) -> str:
+        """The full blame report, byte-stable for identical inputs.
+
+        Capsule paths appear as basenames so the text is reproducible
+        regardless of which directory the capsules were recorded into.
+        """
+        name_a = os.path.basename(self.path_a) or self.path_a
+        name_b = os.path.basename(self.path_b) or self.path_b
+        lines = [
+            f"run diff: {name_a} (engine={self.engine_a}) -> "
+            f"{name_b} (engine={self.engine_b})",
+            f"  aligned jobs: {len(self.pairs)} "
+            f"(unmatched: a={self.unmatched_a} b={self.unmatched_b})",
+            f"  critical-path seconds: {self.total_a:.3f} -> "
+            f"{self.total_b:.3f} ({self.delta_total:+.3f}s)",
+        ]
+        if not self.attributable:
+            lines.append(f"  {_NOT_ATTRIBUTABLE}")
+        if self.entries:
+            lines.append(
+                f"  blame (resource x machine x phase), noise floor "
+                f"{self.noise_floor_s:.2f}s:")
+            denominator = abs(self.delta_total) or 1.0
+            for rank, entry in enumerate(self.entries, start=1):
+                during = entry.phase or "-"
+                exemplar = (f"  span {entry.exemplar_trace}/"
+                            f"{entry.exemplar_span}"
+                            if entry.exemplar_span >= 0 else "")
+                lines.append(
+                    f"    #{rank} {entry.label:<14} {entry.where:<10} "
+                    f"{during:<14} {entry.seconds_a:>9.3f} -> "
+                    f"{entry.seconds_b:>9.3f}  {entry.delta:+.3f}s "
+                    f"{100.0 * abs(entry.delta) / denominator:5.1f}%"
+                    f"{exemplar}")
+        elif self.pairs:
+            lines.append("  blame: no cell cleared the noise floor")
+        lines.append(f"  narrative: {self.narrative()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary (bench baselines, ``--json`` output)."""
+        return {
+            "engine_a": self.engine_a,
+            "engine_b": self.engine_b,
+            "aligned_jobs": len(self.pairs),
+            "unmatched_a": self.unmatched_a,
+            "unmatched_b": self.unmatched_b,
+            "attributable": self.attributable,
+            "total_a_s": round(self.total_a, 6),
+            "total_b_s": round(self.total_b, 6),
+            "delta_total_s": round(self.delta_total, 6),
+            "entries": [
+                {"label": entry.label, "machine": entry.machine_id,
+                 "phase": entry.phase,
+                 "seconds_a": round(entry.seconds_a, 6),
+                 "seconds_b": round(entry.seconds_b, 6),
+                 "delta_s": round(entry.delta, 6)}
+                for entry in self.entries],
+            "narrative": self.narrative(),
+        }
+
+
+def align_jobs(a, b) -> Tuple[List[JobPair], int, int]:
+    """Pair completed requests across two capsules.
+
+    Alignment key: (tenant, template, arrival sequence within that
+    pair).  Job ids are *not* comparable across runs (admission order
+    can differ), but the k-th request a tenant's template submitted is
+    the same logical work in both runs -- the serving workload is an
+    open-loop arrival process, identical across the runs being
+    compared.  Requests present in only one run count as unmatched.
+    """
+    groups_a = _completed_by_key(a)
+    groups_b = _completed_by_key(b)
+    pairs: List[JobPair] = []
+    unmatched_a = sum(len(v) for v in groups_a.values())
+    unmatched_b = sum(len(v) for v in groups_b.values())
+    for key in sorted(set(groups_a) & set(groups_b)):
+        records_a, records_b = groups_a[key], groups_b[key]
+        for seq, (ra, rb) in enumerate(zip(records_a, records_b)):
+            job_a, job_b = ra.job_id, rb.job_id
+            pairs.append(JobPair(
+                tenant=key[0], template=key[1], seq=seq,
+                arrival_b=rb.arrival, job_a=job_a, job_b=job_b,
+                duration_a=a.jobs[job_a].duration,
+                duration_b=b.jobs[job_b].duration))
+            unmatched_a -= 1
+            unmatched_b -= 1
+    pairs.sort(key=lambda p: (p.arrival_b, p.tenant, p.template, p.seq))
+    return pairs, unmatched_a, unmatched_b
+
+
+def _completed_by_key(capsule) -> Dict[Tuple[str, str], List]:
+    groups: Dict[Tuple[str, str], List] = {}
+    for record in sorted(capsule.completed_jobs(),
+                         key=lambda r: (r.arrival, r.job_id)):
+        groups.setdefault((record.tenant, record.template), []).append(record)
+    return groups
+
+
+def diff_capsules(a, b, noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+                  min_fraction: float = DEFAULT_MIN_FRACTION) -> DiffReport:
+    """Diff run B against baseline run A, cell by causal cell."""
+    report = DiffReport(
+        path_a=a.path, path_b=b.path, engine_a=a.engine, engine_b=b.engine,
+        noise_floor_s=noise_floor_s, min_fraction=min_fraction)
+    pairs, report.unmatched_a, report.unmatched_b = align_jobs(a, b)
+    report.pairs = pairs
+    if not pairs:
+        report.attributable = False
+        return report
+
+    Key = Tuple[str, int, str]  # (label, machine, phase)
+    seconds_a: Dict[Key, float] = {}
+    seconds_b: Dict[Key, float] = {}
+    #: Per-cell longest B-side segment: (duration, trace, span_id).
+    exemplars: Dict[Key, Tuple[float, str, int]] = {}
+    per_pair_cells: List[Dict[Key, float]] = []
+    for pair in pairs:
+        report_a = a.critical_path_report(pair.job_a)
+        report_b = b.critical_path_report(pair.job_b)
+        if not (report_a.attributable and report_b.attributable):
+            report.attributable = False
+        report.total_a += report_a.duration
+        report.total_b += report_b.duration
+        for segment in report_a.segments:
+            key = (segment.label, segment.machine_id, segment.phase)
+            seconds_a[key] = seconds_a.get(key, 0.0) + segment.duration
+        cells: Dict[Key, float] = {}
+        trace_b = b.job_trace_id(pair.job_b)
+        for segment in report_b.segments:
+            key = (segment.label, segment.machine_id, segment.phase)
+            seconds_b[key] = seconds_b.get(key, 0.0) + segment.duration
+            cells[key] = cells.get(key, 0.0) + segment.duration
+            if segment.span_id >= 0:
+                candidate = (segment.duration, trace_b, segment.span_id)
+                if key not in exemplars or candidate > exemplars[key]:
+                    exemplars[key] = candidate
+        per_pair_cells.append(cells)
+
+    floor = max(noise_floor_s, min_fraction * abs(report.delta_total))
+    entries = []
+    for key in set(seconds_a) | set(seconds_b):
+        sa = seconds_a.get(key, 0.0)
+        sb = seconds_b.get(key, 0.0)
+        if abs(sb - sa) < floor:
+            continue
+        exemplar = exemplars.get(key, (0.0, "", -1))
+        entries.append(BlameEntry(
+            label=key[0], machine_id=key[1], phase=key[2],
+            seconds_a=sa, seconds_b=sb,
+            exemplar_trace=exemplar[1], exemplar_span=exemplar[2]))
+    entries.sort(key=lambda e: (-abs(e.delta), e.label, e.machine_id,
+                                e.phase))
+    report.entries = entries
+
+    # First divergence: the earliest aligned pair (B arrival order)
+    # whose wall-clock delta cleared the noise floor; its detail names
+    # the worst cell's exemplar span so debugging starts at a span id.
+    for pair, cells in zip(pairs, per_pair_cells):
+        if abs(pair.delta) <= noise_floor_s:
+            continue
+        report.first_divergence = pair
+        worst_key = None
+        worst_gain = 0.0
+        for key, sb in cells.items():
+            gain = sb - _pair_cell_a(a, pair, key)
+            if worst_key is None or gain > worst_gain:
+                worst_key, worst_gain = key, gain
+        trace_b = b.job_trace_id(pair.job_b)
+        report.first_divergence_detail = trace_b
+        if worst_key is not None:
+            segments = [s for s in b.critical_path_report(pair.job_b).segments
+                        if (s.label, s.machine_id, s.phase) == worst_key
+                        and s.span_id >= 0]
+            if segments:
+                worst = max(segments,
+                            key=lambda s: (s.duration, s.start, s.span_id))
+                report.first_divergence_detail = \
+                    f"{trace_b}/{worst.span_id}"
+        break
+    return report
+
+
+def _pair_cell_a(a, pair: JobPair, key) -> float:
+    total = 0.0
+    for segment in a.critical_path_report(pair.job_a).segments:
+        if (segment.label, segment.machine_id, segment.phase) == key:
+            total += segment.duration
+    return total

@@ -1,0 +1,243 @@
+"""Trace analytics over loaded capsules: filter, group, aggregate.
+
+The span store in a :class:`~repro.xray.capsule.Capsule` is just a
+list; this module gives it the small query engine an engineer actually
+needs mid-incident: "p95 monotask duration by machine", "queueing by
+resource for tenant X", "RED rates per tenant".  Aggregations reuse
+:func:`repro.stats.percentile` (the same helper the SLO reports use)
+so numbers agree across every surface.
+
+Grouping dimensions: ``resource``, ``machine``, ``phase``, ``stage``,
+``tenant``, ``kind``.  Stage and tenant are *derived* dimensions --
+stage from the span's parent chain, tenant from the serve record that
+owns the span's job -- and are indexed once per capsule, not per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CapsuleError
+from repro.stats import percentile
+from repro.trace.spans import SPAN_ATTEMPT, SPAN_MONOTASK, SpanRecord
+
+__all__ = ["AggregateRow", "TenantRate", "CapsuleQuery", "GROUP_KEYS"]
+
+GROUP_KEYS = ("resource", "machine", "phase", "stage", "tenant", "kind")
+
+METRICS = ("duration", "queue")
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One group's aggregate over the selected spans."""
+
+    key: str
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+
+@dataclass(frozen=True)
+class TenantRate:
+    """RED-style per-tenant serving stats from a capsule's serve lines."""
+
+    tenant: str
+    requests: int
+    completed: int
+    errors: int  # failed + shed + lost, the tenant-visible failures
+    rate_per_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+
+def _job_of(span: SpanRecord) -> int:
+    trace = span.trace_id
+    if trace.startswith("job-"):
+        try:
+            return int(trace[4:])
+        except ValueError:
+            return -1
+    return -1
+
+
+class CapsuleQuery:
+    """Indexed queries over one loaded capsule."""
+
+    def __init__(self, capsule) -> None:
+        self.capsule = capsule
+        self._span_by_id: Dict[int, SpanRecord] = {
+            span.span_id: span for span in capsule.spans}
+        self._tenant_by_job: Dict[int, str] = {
+            record.job_id: record.tenant for record in capsule.serves
+            if record.job_id >= 0}
+        self._stage_by_span: Dict[int, str] = {}
+        self._has_monotasks = any(span.kind == SPAN_MONOTASK
+                                  for span in capsule.spans)
+
+    # -- dimensions ----------------------------------------------------------------
+
+    def _stage_of(self, span: SpanRecord) -> str:
+        cached = self._stage_by_span.get(span.span_id)
+        if cached is not None:
+            return cached
+        node: Optional[SpanRecord] = span
+        name = "(none)"
+        while node is not None:
+            if node.kind == "stage":
+                name = node.name
+                break
+            parent = node.parent_id
+            node = self._span_by_id.get(parent) if parent is not None \
+                else None
+        self._stage_by_span[span.span_id] = name
+        return name
+
+    def _key_of(self, span: SpanRecord, group_by: str) -> str:
+        if group_by == "resource":
+            return span.resource or "(none)"
+        if group_by == "machine":
+            return ("driver" if span.machine_id < 0
+                    else f"machine {span.machine_id}")
+        if group_by == "phase":
+            return span.phase or "(none)"
+        if group_by == "stage":
+            return self._stage_of(span)
+        if group_by == "tenant":
+            return self._tenant_by_job.get(_job_of(span), "(unknown)")
+        if group_by == "kind":
+            return span.kind
+        raise CapsuleError(
+            f"unknown group-by {group_by!r}; use one of {GROUP_KEYS}")
+
+    # -- selection -----------------------------------------------------------------
+
+    def spans(self, kind: Optional[str] = None,
+              resource: Optional[str] = None,
+              phase: Optional[str] = None,
+              machine: Optional[int] = None,
+              tenant: Optional[str] = None,
+              job: Optional[int] = None) -> List[SpanRecord]:
+        """Finished spans matching every given filter.
+
+        With no ``kind`` filter the leaf layer is selected: monotask
+        spans when the capsule has them (MonoSpark), attempt spans
+        otherwise (Spark) -- so the same query degrades rather than
+        vanishing on a blended engine.
+        """
+        if kind is None:
+            kind = SPAN_MONOTASK if self._has_monotasks else SPAN_ATTEMPT
+        out = []
+        for span in self.capsule.spans:
+            if not span.finished or span.kind != kind:
+                continue
+            if resource is not None and span.resource != resource:
+                continue
+            if phase is not None and span.phase != phase:
+                continue
+            if machine is not None and span.machine_id != machine:
+                continue
+            if job is not None and _job_of(span) != job:
+                continue
+            if tenant is not None and \
+                    self._tenant_by_job.get(_job_of(span)) != tenant:
+                continue
+            out.append(span)
+        return out
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def aggregate(self, group_by: str = "resource",
+                  metric: str = "duration",
+                  **where) -> List[AggregateRow]:
+        """Group the selected spans and aggregate one metric.
+
+        ``metric`` is ``duration`` (service seconds) or ``queue``
+        (seconds waiting at the resource scheduler).  Rows come back
+        ordered by total seconds, largest first.
+        """
+        if metric not in METRICS:
+            raise CapsuleError(
+                f"unknown metric {metric!r}; use one of {METRICS}")
+        groups: Dict[str, List[float]] = {}
+        for span in self.spans(**where):
+            value = span.duration if metric == "duration" else span.queue_s
+            groups.setdefault(self._key_of(span, group_by), []).append(value)
+        rows = []
+        for key, values in groups.items():
+            total = sum(values)
+            rows.append(AggregateRow(
+                key=key, count=len(values), total_s=total,
+                mean_s=total / len(values),
+                p50_s=percentile(values, 50.0),
+                p95_s=percentile(values, 95.0),
+                p99_s=percentile(values, 99.0)))
+        rows.sort(key=lambda row: (-row.total_s, row.key))
+        return rows
+
+    def tenant_rates(self) -> List[TenantRate]:
+        """RED rates per tenant: request rate, errors, latency tail."""
+        by_tenant: Dict[str, List] = {}
+        for record in self.capsule.serves:
+            by_tenant.setdefault(record.tenant, []).append(record)
+        duration = 0.0
+        if self.capsule.summary is not None:
+            duration = float(self.capsule.summary.get("duration_s", 0.0))
+        if duration <= 0.0:
+            completed_times = [r.completed for r in self.capsule.serves
+                               if r.completed == r.completed]
+            duration = max(completed_times) if completed_times else 0.0
+        rows = []
+        for tenant in sorted(by_tenant):
+            records = by_tenant[tenant]
+            completed = [r for r in records if r.outcome == "completed"]
+            errors = len(records) - len(completed)
+            latencies = [r.latency_s for r in completed]
+            rows.append(TenantRate(
+                tenant=tenant, requests=len(records),
+                completed=len(completed), errors=errors,
+                rate_per_s=(len(completed) / duration if duration > 0
+                            else 0.0),
+                p50_s=percentile(latencies, 50.0) if latencies else 0.0,
+                p95_s=percentile(latencies, 95.0) if latencies else 0.0,
+                p99_s=percentile(latencies, 99.0) if latencies else 0.0))
+        return rows
+
+    # -- presentation --------------------------------------------------------------
+
+    def format_aggregate(self, rows: List[AggregateRow], group_by: str,
+                         metric: str) -> str:
+        """The aggregate as an aligned table."""
+        if not rows:
+            return "(no spans matched)"
+        width = max(len(row.key) for row in rows)
+        width = max(width, len(group_by))
+        lines = [f"{group_by:<{width}}  {'count':>6} {'total_s':>9} "
+                 f"{'mean_s':>8} {'p50_s':>8} {'p95_s':>8} {'p99_s':>8}"
+                 f"  ({metric})"]
+        for row in rows:
+            lines.append(
+                f"{row.key:<{width}}  {row.count:>6d} {row.total_s:>9.3f} "
+                f"{row.mean_s:>8.3f} {row.p50_s:>8.3f} {row.p95_s:>8.3f} "
+                f"{row.p99_s:>8.3f}")
+        return "\n".join(lines)
+
+    def format_rates(self, rows: List[TenantRate]) -> str:
+        """The RED table, one tenant per line."""
+        if not rows:
+            return "(no serve records)"
+        width = max(max(len(row.tenant) for row in rows), len("tenant"))
+        lines = [f"{'tenant':<{width}}  {'req':>5} {'done':>5} {'err':>4} "
+                 f"{'rate/s':>7} {'p50_s':>8} {'p95_s':>8} {'p99_s':>8}"]
+        for row in rows:
+            lines.append(
+                f"{row.tenant:<{width}}  {row.requests:>5d} "
+                f"{row.completed:>5d} {row.errors:>4d} "
+                f"{row.rate_per_s:>7.3f} {row.p50_s:>8.3f} "
+                f"{row.p95_s:>8.3f} {row.p99_s:>8.3f}")
+        return "\n".join(lines)

@@ -8,7 +8,8 @@ from repro.cli import build_parser, main
 
 
 ALL_COMMANDS = ("sort", "bdb", "ml", "wordcount", "whatif", "diagnose",
-                "trace", "faults", "serve", "clarity", "reproduce")
+                "trace", "faults", "serve", "clarity", "health",
+                "datasvc", "controlplane", "obs", "xray", "reproduce")
 
 
 class TestParser:

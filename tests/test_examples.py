@@ -85,6 +85,16 @@ class TestExamples:
         assert "SLO report (monospark" in out
         assert "Queueing attribution (monotask queue seconds)" in out
 
+    def test_run_diff(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        out = run_example("run_diff", capsys)
+        assert "why is B slower than A?" in out
+        assert "#1 network" in out
+        assert "machine 1" in out
+        assert "NOT ATTRIBUTABLE" in out
+        assert (tmp_path / "run-diff-clean.capsule").exists()
+        assert (tmp_path / "run-diff-degraded.capsule").exists()
+
     def test_tracing(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
         out = run_example("tracing", capsys)
